@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: common CLI
+ * options, Class 1/2 lookups and progress reporting.
+ */
+
+#ifndef GPUMP_BENCH_BENCH_UTIL_HH
+#define GPUMP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/args.hh"
+#include "trace/parboil.hh"
+
+namespace gpump {
+namespace bench {
+
+/** Options every figure bench accepts. */
+struct BenchOptions
+{
+    /** Workload sizes (process counts), as in the paper. */
+    std::vector<int> sizes{2, 4, 6, 8};
+    /** Prioritized workloads per benchmark per size (Figures 5/6). */
+    int perBench = 1;
+    /** Uniform workloads per size (Figures 7/8).  The default is
+     *  sized so the whole bench suite finishes in well under an hour
+     *  on one core; raise it for tighter confidence intervals. */
+    int workloads = 5;
+    /** Executions each process must complete (Section 4.1: 3). */
+    int replays = 3;
+    std::uint64_t seed = 20140614; // ISCA 2014
+    bool csv = false;
+
+    /**
+     * Parse from args: --quick shrinks everything for smoke runs;
+     * --per-bench/--workloads/--replays/--seed/--csv override.
+     */
+    static BenchOptions fromArgs(const harness::Args &args)
+    {
+        BenchOptions o;
+        if (args.hasFlag("quick")) {
+            o.sizes = {2, 4};
+            o.workloads = 3;
+            o.replays = 2;
+        }
+        o.perBench = static_cast<int>(
+            args.flagInt("per-bench", o.perBench));
+        o.workloads = static_cast<int>(
+            args.flagInt("workloads", o.workloads));
+        o.replays =
+            static_cast<int>(args.flagInt("replays", o.replays));
+        o.seed = static_cast<std::uint64_t>(
+            args.flagInt("seed", static_cast<std::int64_t>(o.seed)));
+        o.csv = args.hasFlag("csv");
+        return o;
+    }
+};
+
+/**
+ * Config for the figure-regeneration experiments.
+ *
+ * Defaults the thread-block duration variability to a lognormal
+ * CV of 0.25 unless the caller overrides gpu.tb_time_cv.  The paper's
+ * simulator replayed *measured* per-TB times, which vary; with a
+ * deterministic replay (cv = 0) all blocks of a wave finish at the
+ * same instant and draining an SM becomes unrealistically cheap,
+ * hiding the context-switch mechanism's latency advantage that
+ * Sections 4.2-4.3 analyse.
+ */
+inline sim::Config
+figureConfig(const harness::Args &args)
+{
+    sim::Config cfg = args.config();
+    if (!cfg.has("gpu.tb_time_cv"))
+        cfg.set("gpu.tb_time_cv", 0.25);
+    return cfg;
+}
+
+/** Class 1 (kernel length) of a benchmark, from Table 1. */
+inline trace::DurationClass
+class1Of(const std::string &bench)
+{
+    return trace::findBenchmark(bench).kernelClass;
+}
+
+/** Class 2 (application length) of a benchmark, from Table 1. */
+inline trace::DurationClass
+class2Of(const std::string &bench)
+{
+    return trace::findBenchmark(bench).appClass;
+}
+
+/** Group index helpers: LONG=0, MEDIUM=1, SHORT=2, AVERAGE=3. */
+constexpr int numGroups = 4;
+constexpr int groupAverage = 3;
+
+inline int
+groupIndex(trace::DurationClass c)
+{
+    switch (c) {
+      case trace::DurationClass::Long: return 0;
+      case trace::DurationClass::Medium: return 1;
+      case trace::DurationClass::Short: return 2;
+    }
+    return groupAverage;
+}
+
+inline const char *
+groupName(int idx)
+{
+    switch (idx) {
+      case 0: return "LONG";
+      case 1: return "MEDIUM";
+      case 2: return "SHORT";
+      default: return "AVERAGE";
+    }
+}
+
+/** One-line progress note on stderr (stdout stays machine-clean). */
+inline void
+progress(const char *what, int size, int done, int total)
+{
+    std::fprintf(stderr, "[%s] %d-process workloads: %d/%d done\n",
+                 what, size, done, total);
+}
+
+/** Mean of a vector; 0 for empty (group absent at this size). */
+inline double
+meanOrZero(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+} // namespace bench
+} // namespace gpump
+
+#endif // GPUMP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator core: event
+ * queue throughput, RNG sampling, occupancy/context derivation,
+ * metric computation, the DSS partition step and a full end-to-end
+ * isolated-application simulation (events per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/gpu_config.hh"
+#include "metrics/metrics.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "trace/parboil.hh"
+#include "workload/system.hh"
+
+using namespace gpump;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            q.schedule(static_cast<sim::SimTime>((i * 7919) % 10000),
+                       [&sink] { ++sink; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_EventQueueCancelHalf(benchmark::State &state)
+{
+    const std::size_t n = 10000;
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::vector<sim::EventQueue::Handle> handles;
+        handles.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            handles.push_back(q.schedule(
+                static_cast<sim::SimTime>(i), [] {}));
+        }
+        for (std::size_t i = 0; i < n; i += 2)
+            handles[i].cancel();
+        q.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelHalf);
+
+void
+BM_RngLognormal(benchmark::State &state)
+{
+    sim::Rng rng(42);
+    double sink = 0;
+    for (auto _ : state)
+        sink += rng.lognormal(10.0, 0.3);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngLognormal);
+
+void
+BM_OccupancyAllKernels(benchmark::State &state)
+{
+    gpu::GpuParams params;
+    auto profiles = trace::allKernelProfiles();
+    for (auto _ : state) {
+        int sink = 0;
+        for (const auto *k : profiles)
+            sink += gpu::maxTbsPerSm(*k, params);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(profiles.size()) *
+        state.iterations());
+}
+BENCHMARK(BM_OccupancyAllKernels);
+
+void
+BM_MetricsCompute(benchmark::State &state)
+{
+    std::vector<double> iso(8), multi(8);
+    for (int i = 0; i < 8; ++i) {
+        iso[static_cast<std::size_t>(i)] = 100.0 + i;
+        multi[static_cast<std::size_t>(i)] = 250.0 + 13 * i;
+    }
+    for (auto _ : state) {
+        auto m = metrics::computeMetrics(iso, multi);
+        benchmark::DoNotOptimize(m.antt);
+    }
+}
+BENCHMARK(BM_MetricsCompute);
+
+void
+BM_IsolatedRun(benchmark::State &state)
+{
+    // End-to-end single-application simulation; reports simulator
+    // throughput in events/second.
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        workload::SystemSpec spec;
+        spec.benchmarks = {"histo"};
+        spec.minReplays = 1;
+        workload::System system(spec);
+        auto result = system.run(sim::seconds(10.0));
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_IsolatedRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiprogrammedDssRun(benchmark::State &state)
+{
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        workload::SystemSpec spec;
+        spec.benchmarks = {"sgemm", "histo", "spmv", "mri-q"};
+        spec.policy = "dss";
+        spec.minReplays = 1;
+        workload::System system(spec);
+        auto result = system.run(sim::seconds(30.0));
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_MultiprogrammedDssRun)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Quickstart: define a custom GPU application, co-run two of them
+ * under preemptive scheduling, and read out the multiprogramming
+ * metrics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ *
+ * Everything shown here is public API:
+ *  - trace::BenchmarkSpec / TraceBuilder describe an application;
+ *  - workload::System assembles the simulated machine;
+ *  - metrics::computeMetrics turns turnarounds into ANTT/STP/fairness.
+ */
+
+#include <cstdio>
+
+#include "metrics/metrics.hh"
+#include "trace/parboil.hh"
+#include "trace/trace_builder.hh"
+#include "workload/system.hh"
+
+using namespace gpump;
+
+int
+main()
+{
+    // --- 1. Run a Parboil benchmark alone to get its baseline. -----
+    workload::SystemSpec solo;
+    solo.benchmarks = {"sgemm"};
+    solo.minReplays = 3;
+    workload::System solo_system(solo);
+    double sgemm_alone_us =
+        solo_system.run(sim::seconds(10.0)).meanTurnaroundUs[0];
+    std::printf("sgemm alone:            %8.1f us per execution\n",
+                sgemm_alone_us);
+
+    // --- 2. Co-run it with a long benchmark under the baseline ----
+    //        FCFS scheduler (today's GPUs).
+    workload::SystemSpec fcfs;
+    fcfs.benchmarks = {"sgemm", "mri-gridding"};
+    fcfs.policy = "fcfs";
+    fcfs.minReplays = 3;
+    workload::System fcfs_system(fcfs);
+    auto fcfs_result = fcfs_system.run(sim::seconds(60.0));
+    std::printf("sgemm next to gridding/FCFS: %8.1f us per execution "
+                "(%.2fx slowdown)\n",
+                fcfs_result.meanTurnaroundUs[0],
+                fcfs_result.meanTurnaroundUs[0] / sgemm_alone_us);
+
+    // --- 3. Same workload under Dynamic Spatial Sharing with the ---
+    //        context-switch preemption mechanism.
+    workload::SystemSpec dss = fcfs;
+    dss.policy = "dss";
+    dss.mechanism = "context_switch";
+    workload::System dss_system(dss);
+    auto dss_result = dss_system.run(sim::seconds(60.0));
+    std::printf("sgemm next to gridding/DSS :  %8.1f us per execution "
+                "(%.2fx slowdown, %llu preemptions)\n",
+                dss_result.meanTurnaroundUs[0],
+                dss_result.meanTurnaroundUs[0] / sgemm_alone_us,
+                static_cast<unsigned long long>(dss_result.preemptions));
+
+    // --- 4. System-level metrics for both runs. --------------------
+    workload::SystemSpec lbm_solo;
+    lbm_solo.benchmarks = {"mri-gridding"};
+    lbm_solo.minReplays = 3;
+    workload::System lbm_system(lbm_solo);
+    double lbm_alone_us =
+        lbm_system.run(sim::seconds(60.0)).meanTurnaroundUs[0];
+
+    std::vector<double> iso = {sgemm_alone_us, lbm_alone_us};
+    auto m_fcfs =
+        metrics::computeMetrics(iso, fcfs_result.meanTurnaroundUs);
+    auto m_dss =
+        metrics::computeMetrics(iso, dss_result.meanTurnaroundUs);
+    std::printf("\n%-6s  %-8s %-8s %-8s\n", "policy", "ANTT", "STP",
+                "fairness");
+    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "fcfs", m_fcfs.antt,
+                m_fcfs.stp, m_fcfs.fairness);
+    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "dss", m_dss.antt,
+                m_dss.stp, m_dss.fairness);
+
+    // --- 5. Define your own application and schedule it. -----------
+    //        A small iterative solver: upload, 20 solver kernels,
+    //        download.  (In a real project the kernel numbers would
+    //        come from profiling, like Table 1 came from the K20c.)
+    trace::BenchmarkSpec my_app;
+    my_app.name = "my-solver";
+    my_app.dataset = "demo";
+    trace::KernelProfile k;
+    k.benchmark = "my-solver";
+    k.kernel = "jacobi";
+    k.launches = 20;
+    k.numThreadBlocks = 416; // 2 waves at occupancy 16 on 13 SMs
+    k.timePerTbUs = 5.0;
+    k.regsPerTb = 8192;
+    k.sharedMemPerTb = 4096;
+    k.threadsPerTb = 256;
+    my_app.kernels.push_back(k);
+    trace::TraceBuilder b(my_app);
+    b.cpu(500).h2d(trace::mib(16));
+    for (int i = 0; i < 20; ++i)
+        b.cpu(10).launch(0);
+    b.sync().d2h(trace::mib(16)).cpu(100);
+    my_app.validate();
+
+    std::printf("\nmy-solver: %d kernel launches, %.1f MiB in, "
+                "%.1f MiB out, %.1f us host time\n",
+                my_app.totalLaunches(),
+                static_cast<double>(my_app.bytesH2D()) / (1 << 20),
+                static_cast<double>(my_app.bytesD2H()) / (1 << 20),
+                sim::toMicroseconds(my_app.cpuTime()));
+
+    // Run it against lbm under DSS, through the same machinery.
+    const trace::BenchmarkSpec &lbm = trace::findBenchmark("lbm");
+    workload::SystemSpec custom;
+    custom.customSpecs = {&my_app, &lbm};
+    custom.policy = "dss";
+    custom.minReplays = 3;
+    workload::System custom_system(custom);
+    auto custom_result = custom_system.run(sim::seconds(60.0));
+    std::printf("my-solver next to lbm/DSS: %8.1f us per execution\n",
+                custom_result.meanTurnaroundUs[0]);
+
+    std::printf("\nquickstart done.\n");
+    return 0;
+}

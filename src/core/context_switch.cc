@@ -1,0 +1,58 @@
+#include "core/context_switch.hh"
+
+#include <vector>
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+void
+ContextSwitchMechanism::beginPreemption(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(fw_ != nullptr, "mechanism not bound");
+    GPUMP_ASSERT(!sm->resident.empty(),
+                 "context switch on SM %d with nothing resident",
+                 sm->id());
+
+    gpu::KernelExec *k = sm->kernel;
+    sm->state = gpu::Sm::State::Saving;
+
+    // Halt every resident thread block: revoke its completion event
+    // and capture how much execution it still needs.  The blocks
+    // reach the PTBQ only once the save finishes, so they cannot be
+    // re-issued while their context is still in flight.
+    std::vector<gpu::PreemptedTb> saved;
+    saved.reserve(sm->resident.size());
+    for (auto &tb : sm->resident) {
+        tb.completion.cancel();
+        sim::SimTime remaining = tb.endAt - fw_->sim().now();
+        GPUMP_ASSERT(remaining >= 0, "resident TB already past its end");
+        saved.push_back(gpu::PreemptedTb{tb.tbIndex, remaining});
+        k->tbEnded(false);
+    }
+    sm->resident.clear();
+
+    // The trap routine drains the pipeline (precise exceptions), then
+    // every thread collaboratively stores registers and the shared
+    // memory partition at the SM's share of memory bandwidth.
+    std::int64_t bytes = k->contextBytesPerTb() *
+        static_cast<std::int64_t>(saved.size());
+    sim::SimTime save_time =
+        fw_->gmem().moveTime(bytes, fw_->params().numSms);
+    fw_->recordContextSave(bytes, static_cast<int>(saved.size()));
+
+    sm->pendingEvent = fw_->sim().events().scheduleIn(
+        fw_->params().pipelineDrainLatency + save_time,
+        [this, sm, k, saved = std::move(saved)] {
+            for (const auto &pt : saved)
+                k->pushPreemptedTb(pt);
+            fw_->recordPtbqDepth(k->ptbqDepth());
+            fw_->completePreemption(sm);
+        },
+        sim::prioCompletion);
+}
+
+} // namespace core
+} // namespace gpump

@@ -1,0 +1,22 @@
+#include "core/draining.hh"
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+void
+DrainingMechanism::beginPreemption(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(fw_ != nullptr, "mechanism not bound");
+    GPUMP_ASSERT(!sm->resident.empty(),
+                 "draining an SM with nothing resident");
+    // Nothing to do actively: the reserved flag already stops the SM
+    // driver from issuing new thread blocks; the framework completes
+    // the preemption when the last resident block finishes.
+    sm->state = gpu::Sm::State::Draining;
+}
+
+} // namespace core
+} // namespace gpump

@@ -1,0 +1,203 @@
+#include "core/dss.hh"
+
+#include <algorithm>
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+DssPolicy::DssPolicy(int tokens_per_kernel, int bonus_tokens,
+                     bool retarget, bool weight_by_priority)
+    : tokensPerKernel_(tokens_per_kernel), bonusPool_(bonus_tokens),
+      retarget_(retarget), weightByPriority_(weight_by_priority)
+{
+    GPUMP_ASSERT(tokens_per_kernel >= 0 && bonus_tokens >= 0,
+                 "negative DSS token budget");
+}
+
+void
+DssPolicy::onCommandWaiting(sim::ContextId)
+{
+    admit();
+    partition();
+}
+
+void
+DssPolicy::onSmIdle(gpu::Sm *)
+{
+    partition();
+}
+
+void
+DssPolicy::onKernelFinished(gpu::KernelExec *k)
+{
+    if (k->hasBonusToken)
+        ++bonusPool_; // the remainder token returns to the pool
+    admit();
+    partition();
+}
+
+void
+DssPolicy::onPreemptionComplete(gpu::Sm *sm, gpu::KernelExec *next)
+{
+    // The token for this SM was paid when the reservation was made.
+    if (next != nullptr && fw_->unallocatedTbs(next) > 0) {
+        fw_->assignSm(sm, next);
+        return;
+    }
+    // The beneficiary finished or no longer has work: refund the
+    // paid token (unless the kernel is gone) and repartition.
+    if (next != nullptr)
+        ++next->tokens;
+    partition();
+}
+
+void
+DssPolicy::admit()
+{
+    while (!fw_->activeQueueFull()) {
+        auto waiting = fw_->waitingBuffers();
+        if (waiting.empty())
+            break;
+        gpu::KernelExec *k = fw_->admit(waiting.front());
+        int weight = weightByPriority_
+            ? 1 + std::max(0, k->priority())
+            : 1;
+        k->tokens = tokensPerKernel_ * weight;
+        if (bonusPool_ > 0) {
+            --bonusPool_;
+            ++k->tokens;
+            k->hasBonusToken = true;
+        }
+    }
+}
+
+int
+DssPolicy::needExtra(const gpu::KernelExec *k) const
+{
+    return fw_->unallocatedTbs(k) - k->smsReserved * k->occupancy();
+}
+
+gpu::KernelExec *
+DssPolicy::findMax() const
+{
+    gpu::KernelExec *best = nullptr;
+    for (gpu::KernelExec *k : fw_->activeKernels()) {
+        if (needExtra(k) <= 0)
+            continue;
+        if (!best || k->tokens > best->tokens)
+            best = k; // admission order breaks ties
+    }
+    return best;
+}
+
+gpu::KernelExec *
+DssPolicy::findMin() const
+{
+    gpu::KernelExec *best = nullptr;
+    for (gpu::KernelExec *k : fw_->activeKernels()) {
+        if (pickVictim(k) == nullptr)
+            continue;
+        if (!best || k->tokens < best->tokens ||
+            (k->tokens == best->tokens && k->smsHeld > best->smsHeld)) {
+            best = k;
+        }
+    }
+    return best;
+}
+
+gpu::Sm *
+DssPolicy::pickVictim(gpu::KernelExec *k) const
+{
+    // "One of its assigned SMs" (Section 3.4): the pick is positional
+    // (lowest id); the hardware has no preview of drain times.
+    for (const auto &sm : fw_->sms()) {
+        if (sm->kernel != k || sm->reserved)
+            continue;
+        if (sm->state != gpu::Sm::State::Running &&
+            sm->state != gpu::Sm::State::Setup) {
+            continue;
+        }
+        return sm.get();
+    }
+    return nullptr;
+}
+
+void
+DssPolicy::partition()
+{
+    // Reservations of Setup SMs complete synchronously and re-enter
+    // the policy; flatten the recursion into a retry loop.
+    if (inPartition_) {
+        partitionAgain_ = true;
+        return;
+    }
+    inPartition_ = true;
+    do {
+        partitionAgain_ = false;
+        partitionLoop();
+    } while (partitionAgain_);
+    inPartition_ = false;
+}
+
+void
+DssPolicy::retargetOrphans()
+{
+    for (const auto &sm : fw_->sms()) {
+        if (!sm->reserved)
+            continue;
+        gpu::KernelExec *next = sm->nextKernel;
+        if (next != nullptr && fw_->unallocatedTbs(next) > 0)
+            continue; // reservation is still useful
+        gpu::KernelExec *max_k = findMax();
+        if (!max_k || max_k == sm->kernel)
+            continue;
+        if (next != nullptr)
+            ++next->tokens; // refund the saturated beneficiary
+        --max_k->tokens;
+        fw_->retargetReservation(sm.get(), max_k);
+    }
+}
+
+void
+DssPolicy::partitionLoop()
+{
+    if (retarget_)
+        retargetOrphans();
+
+    for (;;) {
+        gpu::KernelExec *max_k = findMax();
+        if (!max_k)
+            return; // nobody can use more SMs
+
+        gpu::Sm *idle = fw_->findIdleSm();
+        if (idle != nullptr) {
+            // Idle SMs are never wasted: the richest kernel takes
+            // them even if that drives it into debt (Section 3.4).
+            --max_k->tokens;
+            fw_->assignSm(idle, max_k);
+            continue;
+        }
+
+        gpu::KernelExec *min_k = findMin();
+        if (!min_k || min_k == max_k)
+            return;
+        // Steady state: stop when the spread is at most one token
+        // (prevents repartitioning livelock, Section 3.4).
+        if (max_k->tokens <= min_k->tokens + 1)
+            return;
+
+        gpu::Sm *victim = pickVictim(min_k);
+        GPUMP_ASSERT(victim != nullptr, "findMin returned kernel "
+                     "without preemptible SMs");
+        // Token transfer happens at reservation time (Algorithm 1).
+        ++min_k->tokens;
+        --max_k->tokens;
+        fw_->reserveSm(victim, max_k);
+    }
+}
+
+} // namespace core
+} // namespace gpump

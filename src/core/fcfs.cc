@@ -1,0 +1,76 @@
+#include "core/fcfs.hh"
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+void
+FcfsPolicy::onCommandWaiting(sim::ContextId)
+{
+    admit();
+    schedule();
+}
+
+void
+FcfsPolicy::onSmIdle(gpu::Sm *)
+{
+    schedule();
+}
+
+void
+FcfsPolicy::onKernelFinished(gpu::KernelExec *)
+{
+    admit();
+    schedule();
+}
+
+void
+FcfsPolicy::onPreemptionComplete(gpu::Sm *, gpu::KernelExec *)
+{
+    // FCFS never reserves an SM; nothing can complete.
+    sim::panic("FCFS policy received a preemption completion");
+}
+
+void
+FcfsPolicy::admit()
+{
+    while (!fw_->activeQueueFull()) {
+        auto waiting = fw_->waitingBuffers();
+        if (waiting.empty())
+            break;
+        fw_->admit(waiting.front());
+    }
+}
+
+void
+FcfsPolicy::schedule()
+{
+    const auto &active = fw_->activeKernels();
+    if (active.empty())
+        return;
+
+    // Strict arrival order with head-of-line blocking across
+    // contexts: the schedulable window is the leading run of kernels
+    // that share the front kernel's context, and it only opens once
+    // the engine holds no other context.
+    sim::ContextId window_ctx = active.front()->ctx();
+    sim::ContextId engine_ctx = fw_->engineContext();
+    if (engine_ctx != sim::invalidContext && engine_ctx != window_ctx)
+        return;
+
+    for (gpu::KernelExec *k : active) {
+        if (k->ctx() != window_ctx)
+            break;
+        while (fw_->unallocatedTbs(k) > 0) {
+            gpu::Sm *sm = fw_->findIdleSm();
+            if (!sm)
+                return;
+            fw_->assignSm(sm, k);
+        }
+    }
+}
+
+} // namespace core
+} // namespace gpump

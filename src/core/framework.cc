@@ -1,0 +1,492 @@
+#include "core/framework.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/policy.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+SchedulingFramework::SchedulingFramework(sim::Simulation &sim,
+                                         const gpu::GpuParams &params,
+                                         memory::GpuMemory &gmem,
+                                         gpu::Dispatcher &dispatcher)
+    : sim_(&sim), params_(params), gmem_(&gmem), dispatcher_(&dispatcher),
+      kernelsCompleted_(sim.stats(), "engine.kernels_completed",
+                        "kernels that ran to completion"),
+      tbsCompleted_(sim.stats(), "engine.tbs_completed",
+                    "thread blocks completed"),
+      tbsRestored_(sim.stats(), "engine.tbs_restored",
+                   "preempted thread blocks re-issued"),
+      preemptions_(sim.stats(), "engine.preemptions",
+                   "SM preemptions triggered"),
+      ctxBytesSaved_(sim.stats(), "engine.ctx_bytes_saved",
+                     "context bytes written back on preemption"),
+      tbsSaved_(sim.stats(), "engine.tbs_saved",
+                "thread blocks context-switched out"),
+      preemptLatencyUs_(sim.stats(), "engine.preempt_latency_us",
+                        "reservation-to-vacated latency (us)"),
+      kernelQueueTimeUs_(sim.stats(), "engine.kernel_queue_us",
+                         "enqueue-to-first-setup time of kernels (us)"),
+      ptbqDepth_(sim.stats(), "engine.ptbq_depth",
+                 "PTBQ occupancy after context saves")
+{
+    preemptedFirst_ =
+        sim.config().getBool("engine.preempted_first", true);
+    sms_.reserve(static_cast<std::size_t>(params_.numSms));
+    for (int i = 0; i < params_.numSms; ++i)
+        sms_.push_back(std::make_unique<gpu::Sm>(i, 64));
+    ksrt_.resize(static_cast<std::size_t>(maxActiveKernels(params_)));
+    for (int i = maxActiveKernels(params_) - 1; i >= 0; --i)
+        freeKsrs_.push_back(i);
+    reserveTime_.assign(sms_.size(), 0);
+    dispatcher_->setKernelSink(this);
+}
+
+SchedulingFramework::~SchedulingFramework() = default;
+
+void
+SchedulingFramework::setPolicy(std::unique_ptr<SchedulingPolicy> policy)
+{
+    GPUMP_ASSERT(policy != nullptr, "null policy");
+    policy_ = std::move(policy);
+    policy_->bind(*this);
+}
+
+void
+SchedulingFramework::setMechanism(
+    std::unique_ptr<PreemptionMechanism> mechanism)
+{
+    GPUMP_ASSERT(mechanism != nullptr, "null mechanism");
+    mechanism_ = std::move(mechanism);
+    mechanism_->bind(*this);
+}
+
+bool
+SchedulingFramework::offerKernel(const gpu::CommandPtr &cmd)
+{
+    GPUMP_ASSERT(cmd && cmd->isKernel(), "offerKernel with non-kernel");
+    GPUMP_ASSERT(policy_ != nullptr, "no scheduling policy installed");
+    auto [it, inserted] = buffers_.try_emplace(cmd->ctx, cmd);
+    if (!inserted)
+        return false; // buffer occupied
+    policy_->onCommandWaiting(cmd->ctx);
+    return true;
+}
+
+std::vector<sim::ContextId>
+SchedulingFramework::waitingBuffers() const
+{
+    std::vector<sim::ContextId> out;
+    out.reserve(buffers_.size());
+    for (const auto &kv : buffers_)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end(),
+              [this](sim::ContextId a, sim::ContextId b) {
+                  return buffers_.at(a)->seq < buffers_.at(b)->seq;
+              });
+    return out;
+}
+
+bool
+SchedulingFramework::hasBufferedCommand(sim::ContextId ctx) const
+{
+    return buffers_.count(ctx) != 0;
+}
+
+const gpu::CommandPtr &
+SchedulingFramework::bufferedCommand(sim::ContextId ctx) const
+{
+    auto it = buffers_.find(ctx);
+    GPUMP_ASSERT(it != buffers_.end(), "no buffered command for ctx %d",
+                 ctx);
+    return it->second;
+}
+
+bool
+SchedulingFramework::activeQueueFull() const
+{
+    return static_cast<int>(activeQueue_.size()) >=
+        maxActiveKernels(params_);
+}
+
+int
+SchedulingFramework::numActiveKernels() const
+{
+    return static_cast<int>(activeQueue_.size());
+}
+
+gpu::KernelExec *
+SchedulingFramework::admit(sim::ContextId ctx)
+{
+    GPUMP_ASSERT(!activeQueueFull(), "admit with a full active queue");
+    auto it = buffers_.find(ctx);
+    GPUMP_ASSERT(it != buffers_.end(),
+                 "admit for ctx %d with empty command buffer", ctx);
+
+    gpu::CommandPtr cmd = it->second;
+    buffers_.erase(it);
+
+    GPUMP_ASSERT(!freeKsrs_.empty(), "active queue and KSRT out of sync");
+    sim::KsrIndex ksr = freeKsrs_.back();
+    freeKsrs_.pop_back();
+
+    // The on-chip PTBQ sizing (Section 3.3) is only valid when
+    // preempted blocks are re-issued first; the fresh-first ablation
+    // needs an unbounded (off-chip) queue.
+    int ptbq_capacity = preemptedFirst_
+        ? ptbqCapacityPerKernel(params_)
+        : std::numeric_limits<int>::max();
+    ksrt_[static_cast<std::size_t>(ksr)] =
+        std::make_unique<gpu::KernelExec>(ksr, cmd, params_,
+                                          ptbq_capacity);
+    gpu::KernelExec *k = ksrt_[static_cast<std::size_t>(ksr)].get();
+    activeQueue_.push_back(k);
+
+    kernelQueueTimeUs_.sample(
+        sim::toMicroseconds(sim_->now() - cmd->enqueuedAt));
+    if (observer_)
+        observer_->kernelAdmitted(*k);
+
+    // The buffer slot is free again; let the dispatcher refill it.
+    dispatcher_->onKernelBufferFreed();
+    return k;
+}
+
+gpu::Sm *
+SchedulingFramework::findIdleSm()
+{
+    for (auto &sm : sms_) {
+        if (sm->state == gpu::Sm::State::Idle && !sm->reserved)
+            return sm.get();
+    }
+    return nullptr;
+}
+
+sim::ContextId
+SchedulingFramework::engineContext() const
+{
+    for (const auto &sm : sms_) {
+        if (sm->kernel != nullptr)
+            return sm->kernel->ctx();
+    }
+    return sim::invalidContext;
+}
+
+int
+SchedulingFramework::unallocatedTbs(const gpu::KernelExec *k) const
+{
+    GPUMP_ASSERT(k != nullptr, "unallocatedTbs(null)");
+    int issuable = (k->totalTbs() - k->issuedFresh()) +
+        static_cast<int>(k->ptbqDepth());
+    int granted = 0;
+    for (const auto &sm : sms_) {
+        if (sm->kernel != k || sm->reserved)
+            continue;
+        if (sm->state == gpu::Sm::State::Setup)
+            granted += k->occupancy();
+        else if (sm->state == gpu::Sm::State::Running)
+            granted += sm->freeSlots();
+    }
+    return std::max(0, issuable - granted);
+}
+
+void
+SchedulingFramework::assignSm(gpu::Sm *sm, gpu::KernelExec *k)
+{
+    GPUMP_ASSERT(sm != nullptr && k != nullptr, "assignSm(null)");
+    GPUMP_ASSERT(sm->state == gpu::Sm::State::Idle && !sm->reserved,
+                 "assignSm to non-idle SM %d (%s)", sm->id(),
+                 smStateName(sm->state));
+    GPUMP_ASSERT(k->hasIssuableTbs(),
+                 "assignSm for kernel %s with nothing to issue",
+                 k->profile().fullName().c_str());
+
+    sm->kernel = k;
+    sm->state = gpu::Sm::State::Setup;
+    ++k->smsHeld;
+
+    sim::SimTime latency = params_.smSetupLatency;
+    if (sm->loadedContext != k->ctx()) {
+        latency += params_.contextLoadLatency;
+        sm->tlb().flush();
+        sm->loadedContext = k->ctx();
+    }
+    sm->pendingEvent = sim_->events().scheduleIn(
+        latency, [this, sm] { finishSetup(sm); }, sim::prioDriver);
+    if (observer_)
+        observer_->smAssigned(*sm, *k);
+}
+
+void
+SchedulingFramework::finishSetup(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(sm->state == gpu::Sm::State::Setup,
+                 "setup completion on SM %d in state %s", sm->id(),
+                 smStateName(sm->state));
+    sm->state = gpu::Sm::State::Running;
+    issueThreadBlocks(sm);
+}
+
+sim::SimTime
+SchedulingFramework::sampleTbDuration(const gpu::KernelExec &k)
+{
+    sim::SimTime base = k.profile().tbDuration();
+    if (params_.tbTimeCv <= 0.0)
+        return base;
+    double us = sim_->rng().lognormal(sim::toMicroseconds(base),
+                                      params_.tbTimeCv);
+    return std::max<sim::SimTime>(1, sim::microseconds(us));
+}
+
+void
+SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(sm->kernel != nullptr, "issue on SM with no kernel");
+    if (sm->reserved || sm->state != gpu::Sm::State::Running)
+        return;
+
+    gpu::KernelExec *k = sm->kernel;
+    while (sm->freeSlots() > 0 && k->hasIssuableTbs()) {
+        int tb_index;
+        sim::SimTime duration;
+        bool take_preempted = preemptedFirst_
+            ? k->hasPreemptedTbs()
+            : (k->hasPreemptedTbs() && !k->hasFreshTbs());
+        if (take_preempted) {
+            // Preempted blocks are re-issued first (Section 3.3);
+            // their context is restored before execution resumes.
+            gpu::PreemptedTb pt = k->takePreemptedTb();
+            tb_index = pt.tbIndex;
+            duration = gmem_->moveTime(k->contextBytesPerTb(),
+                                       params_.numSms) +
+                pt.remaining;
+            ++tbsRestored_;
+        } else {
+            tb_index = k->takeFreshTb();
+            duration = sampleTbDuration(*k);
+        }
+        sim::SimTime end_at = sim_->now() + duration;
+        gpu::ResidentTb tb;
+        tb.tbIndex = tb_index;
+        tb.startedAt = sim_->now();
+        tb.endAt = end_at;
+        tb.completion = sim_->events().schedule(
+            end_at, [this, sm, tb_index] { onTbCompleted(sm, tb_index); },
+            sim::prioCompletion);
+        sm->resident.push_back(tb);
+        k->tbStarted();
+        if (!k->startedIssuing) {
+            k->startedIssuing = true;
+            if (observer_)
+                observer_->kernelStarted(*k);
+        }
+    }
+
+    if (sm->resident.empty()) {
+        // Assigned but the kernel's work evaporated (issued elsewhere
+        // between reservation decisions); hand the SM back.
+        smBecameIdle(sm);
+    }
+}
+
+void
+SchedulingFramework::onTbCompleted(gpu::Sm *sm, int tb_index)
+{
+    gpu::KernelExec *k = sm->kernel;
+    GPUMP_ASSERT(k != nullptr, "TB completion on kernel-less SM %d",
+                 sm->id());
+
+    auto it = std::find_if(sm->resident.begin(), sm->resident.end(),
+                           [tb_index](const gpu::ResidentTb &tb) {
+                               return tb.tbIndex == tb_index;
+                           });
+    GPUMP_ASSERT(it != sm->resident.end(),
+                 "completion for TB %d not resident on SM %d", tb_index,
+                 sm->id());
+    sm->resident.erase(it);
+    k->tbEnded(true);
+    ++tbsCompleted_;
+
+    bool kernel_done = k->finished();
+
+    if (sm->reserved) {
+        // Draining mechanism: preemption completes when the SM empties.
+        GPUMP_ASSERT(sm->state == gpu::Sm::State::Draining,
+                     "reserved SM %d got a TB completion in state %s",
+                     sm->id(), smStateName(sm->state));
+        if (sm->resident.empty())
+            completePreemption(sm);
+    } else {
+        if (!kernel_done && k->hasIssuableTbs())
+            issueThreadBlocks(sm);
+        // Guard on the same kernel: smBecameIdle hands the SM to the
+        // policy, which may already have re-assigned it.
+        if (sm->kernel == k && sm->resident.empty())
+            smBecameIdle(sm);
+    }
+
+    if (kernel_done)
+        finalizeKernel(k);
+}
+
+void
+SchedulingFramework::smBecameIdle(gpu::Sm *sm)
+{
+    gpu::KernelExec *k = sm->kernel;
+    GPUMP_ASSERT(k != nullptr, "smBecameIdle on kernel-less SM");
+    GPUMP_ASSERT(sm->resident.empty(), "idle SM with resident TBs");
+    --k->smsHeld;
+    sm->clearKernel();
+    policy_->onSmIdle(sm);
+}
+
+void
+SchedulingFramework::reserveSm(gpu::Sm *sm, gpu::KernelExec *next)
+{
+    GPUMP_ASSERT(sm != nullptr && next != nullptr, "reserveSm(null)");
+    GPUMP_ASSERT(sm->busy(), "reserving an idle SM");
+    GPUMP_ASSERT(sm->kernel != next,
+                 "reserving SM %d for the kernel already running on it",
+                 sm->id());
+    GPUMP_ASSERT(mechanism_ != nullptr, "no preemption mechanism");
+
+    if (sm->reserved) {
+        retargetReservation(sm, next);
+        return;
+    }
+
+    sm->reserved = true;
+    sm->nextKernel = next;
+    ++next->smsReserved;
+    reserveTime_[static_cast<std::size_t>(sm->id())] = sim_->now();
+    ++preemptions_;
+    if (observer_)
+        observer_->preemptionRequested(*sm, *sm->kernel, *next);
+
+    if (sm->state == gpu::Sm::State::Setup) {
+        // The kernel never started here; cancel the setup and hand
+        // the SM over immediately.
+        sm->pendingEvent.cancel();
+        completePreemption(sm);
+        return;
+    }
+    GPUMP_ASSERT(sm->state == gpu::Sm::State::Running,
+                 "reserve of SM %d in state %s", sm->id(),
+                 smStateName(sm->state));
+    mechanism_->beginPreemption(sm);
+}
+
+void
+SchedulingFramework::retargetReservation(gpu::Sm *sm,
+                                         gpu::KernelExec *next)
+{
+    GPUMP_ASSERT(sm->reserved, "retarget of unreserved SM %d", sm->id());
+    GPUMP_ASSERT(next != nullptr, "retarget to null kernel");
+    if (sm->nextKernel == next)
+        return;
+    if (sm->nextKernel != nullptr)
+        --sm->nextKernel->smsReserved;
+    sm->nextKernel = next;
+    ++next->smsReserved;
+}
+
+void
+SchedulingFramework::recordContextSave(std::int64_t bytes, int tbs)
+{
+    ctxBytesSaved_ += static_cast<double>(bytes);
+    tbsSaved_ += static_cast<double>(tbs);
+}
+
+void
+SchedulingFramework::recordPtbqDepth(std::size_t depth)
+{
+    ptbqDepth_.sample(static_cast<double>(depth));
+}
+
+void
+SchedulingFramework::completePreemption(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(sm->reserved, "completePreemption on unreserved SM %d",
+                 sm->id());
+    GPUMP_ASSERT(sm->resident.empty(),
+                 "preemption completed with TBs resident");
+
+    gpu::KernelExec *old = sm->kernel;
+    gpu::KernelExec *next = sm->nextKernel;
+    GPUMP_ASSERT(old != nullptr, "preempted SM with no kernel");
+    --old->smsHeld;
+    if (next != nullptr)
+        --next->smsReserved;
+
+    preemptLatencyUs_.sample(sim::toMicroseconds(
+        sim_->now() - reserveTime_[static_cast<std::size_t>(sm->id())]));
+    if (observer_)
+        observer_->preemptionCompleted(*sm);
+
+    sm->clearKernel();
+    policy_->onPreemptionComplete(sm, next);
+}
+
+void
+SchedulingFramework::finalizeKernel(gpu::KernelExec *k)
+{
+    GPUMP_ASSERT(k->finished(), "finalize of unfinished kernel");
+
+    // Take the kernel out of the tables first so policy callbacks
+    // fired during the unwind below observe consistent state.  The
+    // object stays alive (owned) until the end of this function.
+    activeQueue_.erase(
+        std::remove(activeQueue_.begin(), activeQueue_.end(), k),
+        activeQueue_.end());
+    sim::KsrIndex ksr = k->ksr();
+    auto owned = std::move(ksrt_[static_cast<std::size_t>(ksr)]);
+    freeKsrs_.push_back(ksr);
+
+    // Unwind any SM still pointing at this kernel.  Only Setup SMs
+    // can remain (their work evaporated before they were configured);
+    // SMs with resident TBs cannot exist once every TB completed.
+    // Orphan reservations targeting the dead kernel are cleared; the
+    // policy learns about them when those preemptions complete.
+    for (auto &sm : sms_) {
+        if (sm->nextKernel == k) {
+            sm->nextKernel = nullptr;
+            --k->smsReserved;
+        }
+        if (sm->kernel == k) {
+            GPUMP_ASSERT(sm->state == gpu::Sm::State::Setup,
+                         "finished kernel still owns SM %d in state %s",
+                         sm->id(), smStateName(sm->state));
+            GPUMP_ASSERT(!sm->reserved,
+                         "finished kernel owns a reserved Setup SM");
+            sm->pendingEvent.cancel();
+            --k->smsHeld;
+            sm->clearKernel();
+            policy_->onSmIdle(sm.get());
+        }
+    }
+    GPUMP_ASSERT(k->smsHeld == 0,
+                 "finished kernel %s still holds %d SMs",
+                 k->profile().fullName().c_str(), k->smsHeld);
+    GPUMP_ASSERT(k->smsReserved == 0,
+                 "finished kernel %s still has %d reservations",
+                 k->profile().fullName().c_str(), k->smsReserved);
+
+    ++kernelsCompleted_;
+    if (observer_)
+        observer_->kernelFinished(*owned);
+    policy_->onKernelFinished(owned.get());
+
+    gpu::CommandPtr cmd = owned->command();
+    owned.reset();
+
+    if (cmd->queue != nullptr)
+        dispatcher_->onCommandCompleted(cmd->queue);
+    if (cmd->onComplete)
+        cmd->onComplete();
+}
+
+} // namespace core
+} // namespace gpump

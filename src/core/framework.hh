@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The scheduling framework (Section 3.3) plus the extended SM driver
+ * (Section 3.2, Figure 3).
+ *
+ * The framework owns the hardware structures that track kernels and
+ * SMs — per-context command buffers, the active queue, the KSRT, the
+ * SMST (realised as the Sm objects) and the PTBQs (inside KernelExec)
+ * — and the driver logic that sets SMs up, issues thread blocks
+ * (preempted ones first), reacts to completions and carries out
+ * reservations through the pluggable preemption mechanism.
+ *
+ * The scheduling *policy* plugs in on top: the framework calls the
+ * policy on the events of interest (command waiting, SM idle, kernel
+ * finished, preemption complete) and the policy drives the framework
+ * through admit / assignSm / reserveSm.
+ */
+
+#ifndef GPUMP_CORE_FRAMEWORK_HH
+#define GPUMP_CORE_FRAMEWORK_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/preemption.hh"
+#include "core/tables.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_exec.hh"
+#include "gpu/sm.hh"
+#include "memory/gpu_memory.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace gpump {
+namespace core {
+
+class SchedulingPolicy;
+
+/**
+ * Optional observer of engine events.  Used by examples (timelines)
+ * and tests (ordering assertions); all hooks default to no-ops so
+ * observers implement only what they need.
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+    virtual void kernelAdmitted(const gpu::KernelExec &) {}
+    /** First thread block of the kernel issued. */
+    virtual void kernelStarted(const gpu::KernelExec &) {}
+    virtual void kernelFinished(const gpu::KernelExec &) {}
+    virtual void smAssigned(const gpu::Sm &, const gpu::KernelExec &) {}
+    virtual void preemptionRequested(const gpu::Sm &,
+                                     const gpu::KernelExec & /*victim*/,
+                                     const gpu::KernelExec & /*next*/) {}
+    virtual void preemptionCompleted(const gpu::Sm &) {}
+};
+
+/** The execution engine's scheduling framework + SM driver. */
+class SchedulingFramework : public gpu::KernelSink
+{
+  public:
+    SchedulingFramework(sim::Simulation &sim, const gpu::GpuParams &params,
+                        memory::GpuMemory &gmem,
+                        gpu::Dispatcher &dispatcher);
+    ~SchedulingFramework() override;
+
+    /** @name Assembly
+     * @{ */
+    void setPolicy(std::unique_ptr<SchedulingPolicy> policy);
+    void setMechanism(std::unique_ptr<PreemptionMechanism> mechanism);
+    SchedulingPolicy &policy() { return *policy_; }
+    PreemptionMechanism &mechanism() { return *mechanism_; }
+
+    /** Install an observer (nullptr to remove).  Not owned. */
+    void setObserver(EngineObserver *observer) { observer_ = observer; }
+    /** @} */
+
+    sim::Simulation &sim() { return *sim_; }
+    const gpu::GpuParams &params() const { return params_; }
+    memory::GpuMemory &gmem() { return *gmem_; }
+
+    /** @name Command buffers (dispatcher-facing)
+     * @{ */
+    bool offerKernel(const gpu::CommandPtr &cmd) override;
+
+    /** Contexts with a buffered command, in arrival (seq) order. */
+    std::vector<sim::ContextId> waitingBuffers() const;
+    bool hasBufferedCommand(sim::ContextId ctx) const;
+    const gpu::CommandPtr &bufferedCommand(sim::ContextId ctx) const;
+    /** @} */
+
+    /** @name Active queue / KSRT
+     * @{ */
+    bool activeQueueFull() const;
+    int numActiveKernels() const;
+
+    /**
+     * Admit @p ctx's buffered command: allocate a KSR, append to the
+     * active queue, free the command buffer.  Called by the policy.
+     * @pre hasBufferedCommand(ctx) and not activeQueueFull().
+     */
+    gpu::KernelExec *admit(sim::ContextId ctx);
+
+    /** Active kernels in admission order. */
+    const std::vector<gpu::KernelExec *> &activeKernels() const
+    {
+        return activeQueue_;
+    }
+    /** @} */
+
+    /** @name SMs
+     * @{ */
+    int numSms() const { return static_cast<int>(sms_.size()); }
+    gpu::Sm *sm(sim::SmId id) { return sms_[static_cast<size_t>(id)].get(); }
+    const std::vector<std::unique_ptr<gpu::Sm>> &sms() const { return sms_; }
+
+    /** First idle, unreserved SM; nullptr when none. */
+    gpu::Sm *findIdleSm();
+
+    /** Context occupying the engine (any SM with a kernel), or
+     *  sim::invalidContext when the engine is empty.  Baseline
+     *  policies use this to enforce one-context-at-a-time. */
+    sim::ContextId engineContext() const;
+
+    /**
+     * Thread blocks of @p k not yet covered by SM capacity already
+     * granted to it: issuable TBs minus free slots on its SMs (Setup
+     * SMs count at full occupancy).  Policies assign SMs only while
+     * this is positive, mirroring the SM driver's "issue until fully
+     * occupied" behaviour.
+     */
+    int unallocatedTbs(const gpu::KernelExec *k) const;
+    /** @} */
+
+    /** @name Scheduling operations (policy-facing)
+     * @{ */
+    /**
+     * Set @p sm (idle, unreserved) up for @p k and start issuing its
+     * thread blocks after the setup latency.
+     */
+    void assignSm(gpu::Sm *sm, gpu::KernelExec *k);
+
+    /**
+     * Reserve @p sm for @p next, triggering the preemption mechanism.
+     * Reserving an already-reserved SM retargets the reservation
+     * (Section 3.4 optimisation).
+     * @pre sm->busy() and sm->kernel != next
+     */
+    void reserveSm(gpu::Sm *sm, gpu::KernelExec *next);
+
+    /** Change the kernel a reserved SM is reserved for. */
+    void retargetReservation(gpu::Sm *sm, gpu::KernelExec *next);
+    /** @} */
+
+    /** @name Driver internals (mechanism-facing)
+     * @{ */
+    /** Fill @p sm's free slots with thread blocks (preempted first). */
+    void issueThreadBlocks(gpu::Sm *sm);
+
+    /**
+     * Preemption of @p sm finished: release it from its kernel and
+     * hand it to the reservation target via the policy.
+     */
+    void completePreemption(gpu::Sm *sm);
+    /** @} */
+
+    /** @name Statistics queries (harness-facing)
+     * @{ */
+    std::uint64_t kernelsCompleted() const
+    {
+        return static_cast<std::uint64_t>(kernelsCompleted_.value());
+    }
+    std::uint64_t tbsCompleted() const
+    {
+        return static_cast<std::uint64_t>(tbsCompleted_.value());
+    }
+    std::uint64_t preemptions() const
+    {
+        return static_cast<std::uint64_t>(preemptions_.value());
+    }
+    double contextBytesSaved() const { return ctxBytesSaved_.value(); }
+    /** @} */
+
+    /** Used by the context-switch mechanism to account saved bytes. */
+    void recordContextSave(std::int64_t bytes, int tbs);
+
+    /** Record a kernel's PTBQ depth after a save (sizing analyses). */
+    void recordPtbqDepth(std::size_t depth);
+
+    /** Deepest PTBQ observed during the run. */
+    double maxPtbqDepth() const { return ptbqDepth_.max(); }
+
+  private:
+    void finishSetup(gpu::Sm *sm);
+    void onTbCompleted(gpu::Sm *sm, int tb_index);
+    void smBecameIdle(gpu::Sm *sm);
+    void finalizeKernel(gpu::KernelExec *k);
+    sim::SimTime sampleTbDuration(const gpu::KernelExec &k);
+
+    sim::Simulation *sim_;
+    gpu::GpuParams params_;
+    memory::GpuMemory *gmem_;
+    gpu::Dispatcher *dispatcher_;
+    std::unique_ptr<SchedulingPolicy> policy_;
+    std::unique_ptr<PreemptionMechanism> mechanism_;
+    EngineObserver *observer_ = nullptr;
+
+    /** Issue preempted TBs before fresh ones (Section 3.3 keeps the
+     *  PTBQ bounded this way).  Config "engine.preempted_first";
+     *  disabled only by the PTBQ-order ablation bench. */
+    bool preemptedFirst_ = true;
+
+    std::vector<std::unique_ptr<gpu::Sm>> sms_;
+    /** KSRT: slot -> active kernel (empty slot = nullptr). */
+    std::vector<std::unique_ptr<gpu::KernelExec>> ksrt_;
+    std::vector<sim::KsrIndex> freeKsrs_;
+    /** Active queue, admission order. */
+    std::vector<gpu::KernelExec *> activeQueue_;
+    /** Per-context single-command buffers. */
+    std::map<sim::ContextId, gpu::CommandPtr> buffers_;
+    /** Per-SM reservation timestamps (preemption latency stat). */
+    std::vector<sim::SimTime> reserveTime_;
+
+    sim::Scalar kernelsCompleted_;
+    sim::Scalar tbsCompleted_;
+    sim::Scalar tbsRestored_;
+    sim::Scalar preemptions_;
+    sim::Scalar ctxBytesSaved_;
+    sim::Scalar tbsSaved_;
+    sim::Distribution preemptLatencyUs_;
+    sim::Distribution kernelQueueTimeUs_;
+    sim::Distribution ptbqDepth_;
+};
+
+} // namespace core
+} // namespace gpump
+
+#endif // GPUMP_CORE_FRAMEWORK_HH

@@ -1,0 +1,45 @@
+#include "core/policy.hh"
+
+#include "core/dss.hh"
+#include "core/fcfs.hh"
+#include "core/priority.hh"
+#include "core/timemux.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+std::unique_ptr<SchedulingPolicy>
+makePolicy(const std::string &name, const sim::Config &cfg)
+{
+    if (name == "fcfs")
+        return std::make_unique<FcfsPolicy>();
+    if (name == "npq")
+        return std::make_unique<NpqPolicy>();
+    if (name == "ppq_excl")
+        return std::make_unique<PpqPolicy>(/*exclusive=*/true);
+    if (name == "ppq_shared")
+        return std::make_unique<PpqPolicy>(/*exclusive=*/false);
+    if (name == "dss") {
+        int tokens = static_cast<int>(
+            cfg.getInt("dss.tokens_per_kernel", 1));
+        int bonus = static_cast<int>(cfg.getInt("dss.bonus_tokens", 0));
+        bool retarget = cfg.getBool("dss.retarget", true);
+        bool weighted = cfg.getBool("dss.weight_by_priority", false);
+        return std::make_unique<DssPolicy>(tokens, bonus, retarget,
+                                           weighted);
+    }
+    if (name == "tmux") {
+        double quantum_us = cfg.getDouble("tmux.quantum_us", 200.0);
+        if (quantum_us <= 0)
+            sim::fatal("tmux.quantum_us must be positive");
+        return std::make_unique<TimeMuxPolicy>(
+            sim::microseconds(quantum_us));
+    }
+    sim::fatal("unknown scheduling policy '%s' (expected fcfs, npq, "
+               "ppq_excl, ppq_shared, dss or tmux)",
+               name.c_str());
+}
+
+} // namespace core
+} // namespace gpump

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scheduling policies (Sections 3.3-3.4, 4.2-4.4).
+ *
+ * A policy decides *which* kernels get admitted and *which* SMs they
+ * run on; it triggers preemption through the framework and never
+ * talks to the mechanism directly.  Implemented policies:
+ *  - "fcfs":       the baseline GPU (arrival order, one context at a
+ *                  time on the engine, back-to-back within a context);
+ *  - "npq":        non-preemptive priority queues;
+ *  - "ppq_excl":   preemptive priority queues, the high-priority
+ *                  process has exclusive access to the engine;
+ *  - "ppq_shared": preemptive priority queues with low-priority
+ *                  back-filling of free SMs;
+ *  - "dss":        Dynamic Spatial Sharing (Algorithm 1).
+ */
+
+#ifndef GPUMP_CORE_POLICY_HH
+#define GPUMP_CORE_POLICY_HH
+
+#include <memory>
+#include <string>
+
+#include "gpu/kernel_exec.hh"
+#include "gpu/sm.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace core {
+
+class SchedulingFramework;
+
+/** Abstract scheduling policy. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Wire to the owning framework (called once at assembly). */
+    virtual void bind(SchedulingFramework &fw) { fw_ = &fw; }
+
+    /** @name Framework events
+     * @{ */
+    /** A kernel command appeared in @p ctx's command buffer. */
+    virtual void onCommandWaiting(sim::ContextId ctx) = 0;
+
+    /** @p sm just became idle (kernel drained or finished there). */
+    virtual void onSmIdle(gpu::Sm *sm) = 0;
+
+    /** @p k completed all thread blocks and left the tables.  The
+     *  pointer is valid only for the duration of the call. */
+    virtual void onKernelFinished(gpu::KernelExec *k) = 0;
+
+    /**
+     * Preemption of @p sm finished; @p next is the reservation target
+     * (nullptr when that kernel finished in the meantime).  The SM is
+     * idle; the policy decides what runs on it next.
+     */
+    virtual void onPreemptionComplete(gpu::Sm *sm,
+                                      gpu::KernelExec *next) = 0;
+    /** @} */
+
+  protected:
+    SchedulingFramework *fw_ = nullptr;
+};
+
+/**
+ * Policy factory.
+ *
+ * @param name one of "fcfs", "npq", "ppq_excl", "ppq_shared", "dss".
+ * @param cfg  policy tunables (e.g. "dss.tokens_per_kernel").
+ *
+ * Raises fatal() for unknown names.
+ */
+std::unique_ptr<SchedulingPolicy>
+makePolicy(const std::string &name, const sim::Config &cfg);
+
+} // namespace core
+} // namespace gpump
+
+#endif // GPUMP_CORE_POLICY_HH

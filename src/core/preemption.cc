@@ -1,0 +1,23 @@
+#include "core/preemption.hh"
+
+#include "core/context_switch.hh"
+#include "core/draining.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+std::unique_ptr<PreemptionMechanism>
+makeMechanism(const std::string &name)
+{
+    if (name == "context_switch" || name == "cs")
+        return std::make_unique<ContextSwitchMechanism>();
+    if (name == "draining" || name == "drain")
+        return std::make_unique<DrainingMechanism>();
+    sim::fatal("unknown preemption mechanism '%s' "
+               "(expected context_switch or draining)",
+               name.c_str());
+}
+
+} // namespace core
+} // namespace gpump

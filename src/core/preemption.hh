@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Preemption mechanisms (Section 3.2).
+ *
+ * A mechanism answers one question: how does an SM that the policy
+ * reserved get vacated?  Two implementations exist:
+ *  - ContextSwitchMechanism: stop the SM, save the architectural
+ *    context of every resident thread block to off-chip memory, and
+ *    queue the blocks for later re-issue (classic OS-style preemption);
+ *  - DrainingMechanism: stop issuing new thread blocks and let the
+ *    resident ones run to completion (preemption at the thread-block
+ *    boundary the programming model guarantees).
+ *
+ * Mechanisms are policy-agnostic; policies are mechanism-agnostic
+ * (Section 3: "mechanisms separated from policies").
+ */
+
+#ifndef GPUMP_CORE_PREEMPTION_HH
+#define GPUMP_CORE_PREEMPTION_HH
+
+#include <memory>
+#include <string>
+
+#include "gpu/sm.hh"
+
+namespace gpump {
+namespace core {
+
+class SchedulingFramework;
+
+/** Abstract preemption mechanism. */
+class PreemptionMechanism
+{
+  public:
+    virtual ~PreemptionMechanism() = default;
+
+    /** Mechanism name for reports ("context_switch" / "draining"). */
+    virtual const char *name() const = 0;
+
+    /** True when the mechanism saves/restores context (and therefore
+     *  needs the PTBQs to exist). */
+    virtual bool savesContext() const = 0;
+
+    /**
+     * Begin vacating @p sm.  The SM is already flagged reserved and
+     * is in the Running state with at least one resident thread
+     * block.  The mechanism must eventually cause
+     * SchedulingFramework::completePreemption(sm) to run.
+     */
+    virtual void beginPreemption(gpu::Sm *sm) = 0;
+
+    /** Wire to the owning framework (called once at assembly). */
+    void bind(SchedulingFramework &fw) { fw_ = &fw; }
+
+  protected:
+    SchedulingFramework *fw_ = nullptr;
+};
+
+/**
+ * Factory: "context_switch" or "draining"; raises fatal() otherwise.
+ */
+std::unique_ptr<PreemptionMechanism>
+makeMechanism(const std::string &name);
+
+} // namespace core
+} // namespace gpump
+
+#endif // GPUMP_CORE_PREEMPTION_HH

@@ -1,0 +1,199 @@
+#include "core/priority.hh"
+
+#include <algorithm>
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+namespace {
+
+/** Descending priority, ascending arrival within a priority level. */
+bool
+priorityOrder(const gpu::KernelExec *a, const gpu::KernelExec *b)
+{
+    if (a->priority() != b->priority())
+        return a->priority() > b->priority();
+    return a->seq() < b->seq();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- NPQ
+
+void
+NpqPolicy::onCommandWaiting(sim::ContextId)
+{
+    admit();
+    schedule();
+}
+
+void
+NpqPolicy::onSmIdle(gpu::Sm *)
+{
+    schedule();
+}
+
+void
+NpqPolicy::onKernelFinished(gpu::KernelExec *)
+{
+    admit();
+    schedule();
+}
+
+void
+NpqPolicy::onPreemptionComplete(gpu::Sm *, gpu::KernelExec *)
+{
+    sim::panic("NPQ policy received a preemption completion");
+}
+
+void
+NpqPolicy::admit()
+{
+    while (!fw_->activeQueueFull()) {
+        auto waiting = fw_->waitingBuffers();
+        if (waiting.empty())
+            break;
+        // Highest buffered priority first; FCFS within a level
+        // (waitingBuffers is already in arrival order).
+        sim::ContextId best = waiting.front();
+        int best_prio = fw_->bufferedCommand(best)->priority;
+        for (sim::ContextId ctx : waiting) {
+            int prio = fw_->bufferedCommand(ctx)->priority;
+            if (prio > best_prio) {
+                best = ctx;
+                best_prio = prio;
+            }
+        }
+        fw_->admit(best);
+    }
+}
+
+std::vector<gpu::KernelExec *>
+NpqPolicy::sortedActive() const
+{
+    std::vector<gpu::KernelExec *> sorted = fw_->activeKernels();
+    std::stable_sort(sorted.begin(), sorted.end(), priorityOrder);
+    return sorted;
+}
+
+void
+NpqPolicy::schedule()
+{
+    // One context at a time on the engine: NPQ reorders the execution
+    // queue but does not add multi-context support.
+    sim::ContextId window = fw_->engineContext();
+    for (gpu::KernelExec *k : sortedActive()) {
+        if (window != sim::invalidContext && k->ctx() != window)
+            continue;
+        while (fw_->unallocatedTbs(k) > 0) {
+            gpu::Sm *sm = fw_->findIdleSm();
+            if (!sm)
+                return;
+            fw_->assignSm(sm, k);
+            window = k->ctx();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- PPQ
+
+void
+PpqPolicy::onCommandWaiting(sim::ContextId)
+{
+    admit();
+    preempt();
+    scheduleWithMode();
+}
+
+void
+PpqPolicy::onKernelFinished(gpu::KernelExec *)
+{
+    admit();
+    preempt();
+    scheduleWithMode();
+}
+
+void
+PpqPolicy::onSmIdle(gpu::Sm *)
+{
+    scheduleWithMode();
+}
+
+void
+PpqPolicy::onPreemptionComplete(gpu::Sm *, gpu::KernelExec *)
+{
+    // The vacated SM is idle; priority-ordered scheduling hands it to
+    // the reservation's beneficiary (the top-priority kernel).
+    scheduleWithMode();
+}
+
+int
+PpqPolicy::needExtra(const gpu::KernelExec *k) const
+{
+    return fw_->unallocatedTbs(k) - k->smsReserved * k->occupancy();
+}
+
+void
+PpqPolicy::preempt()
+{
+    for (;;) {
+        // Highest-priority kernel that still needs SM capacity.
+        gpu::KernelExec *hp = nullptr;
+        for (gpu::KernelExec *k : sortedActive()) {
+            if (needExtra(k) > 0) {
+                hp = k;
+                break;
+            }
+        }
+        if (!hp)
+            return;
+
+        // Victim: the first (lowest-id) SM running a strictly
+        // lower-priority kernel.  The hardware has no preview of drain
+        // times, so the pick is positional, not latency-aware.
+        gpu::Sm *victim = nullptr;
+        for (const auto &sm : fw_->sms()) {
+            if (!sm->kernel || sm->reserved)
+                continue;
+            if (sm->kernel->priority() >= hp->priority())
+                continue;
+            if (sm->state != gpu::Sm::State::Running &&
+                sm->state != gpu::Sm::State::Setup) {
+                continue;
+            }
+            victim = sm.get();
+            break;
+        }
+        if (!victim)
+            return;
+        fw_->reserveSm(victim, hp);
+    }
+}
+
+void
+PpqPolicy::scheduleWithMode()
+{
+    auto sorted = sortedActive();
+    if (sorted.empty())
+        return;
+    // PPQ relies on the multiprogramming extensions: kernels from
+    // different contexts may occupy disjoint SM sets concurrently, so
+    // no engine-context window applies here.
+    int top = sorted.front()->priority();
+    for (gpu::KernelExec *k : sorted) {
+        if (exclusive_ && k->priority() < top)
+            break; // no back-filling below the top priority level
+        while (fw_->unallocatedTbs(k) > 0) {
+            gpu::Sm *sm = fw_->findIdleSm();
+            if (!sm)
+                return;
+            fw_->assignSm(sm, k);
+        }
+    }
+}
+
+} // namespace core
+} // namespace gpump

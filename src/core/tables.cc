@@ -1,0 +1,44 @@
+#include "core/tables.hh"
+
+namespace gpump {
+namespace core {
+
+namespace {
+
+std::int64_t
+bitsToBytes(std::int64_t bits)
+{
+    return (bits + 7) / 8;
+}
+
+} // namespace
+
+FrameworkSramCosts
+frameworkSramCosts(const gpu::GpuParams &params)
+{
+    const std::int64_t n = params.numSms;
+    FrameworkSramCosts c;
+    c.commandBuffersBytes = bitsToBytes(n * commandBufferEntryBits);
+    c.activeQueueBytes = bitsToBytes(n * activeQueueEntryBits);
+    c.ksrtBytes = bitsToBytes(n * ksrEntryBits);
+    c.smstBytes = bitsToBytes(n * smstEntryBits);
+    c.ptbqBytes = bitsToBytes(
+        n * static_cast<std::int64_t>(ptbqCapacityPerKernel(params)) *
+        ptbqEntryBits);
+    return c;
+}
+
+int
+maxActiveKernels(const gpu::GpuParams &params)
+{
+    return params.numSms;
+}
+
+int
+ptbqCapacityPerKernel(const gpu::GpuParams &params)
+{
+    return params.numSms * params.maxTbSlotsPerSm;
+}
+
+} // namespace core
+} // namespace gpump

@@ -1,0 +1,143 @@
+#include "core/timemux.hh"
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+TimeMuxPolicy::TimeMuxPolicy(sim::SimTime quantum)
+    : quantum_(quantum)
+{
+    GPUMP_ASSERT(quantum > 0, "non-positive time quantum");
+}
+
+void
+TimeMuxPolicy::onCommandWaiting(sim::ContextId)
+{
+    admit();
+    schedule();
+    armTimer();
+}
+
+void
+TimeMuxPolicy::onSmIdle(gpu::Sm *)
+{
+    schedule();
+}
+
+void
+TimeMuxPolicy::onKernelFinished(gpu::KernelExec *)
+{
+    // Ring positions shift when a kernel leaves the active queue;
+    // clamping keeps the ring pointer valid.  If the slice owner
+    // itself finished, the next kernel inherits the rest of the slice
+    // (it gets the SMs anyway through the idle path).
+    admit();
+    const auto &active = fw_->activeKernels();
+    if (!active.empty())
+        ringPos_ %= active.size();
+    else
+        ringPos_ = 0;
+    schedule();
+}
+
+void
+TimeMuxPolicy::onPreemptionComplete(gpu::Sm *sm, gpu::KernelExec *next)
+{
+    if (next != nullptr && fw_->unallocatedTbs(next) > 0) {
+        fw_->assignSm(sm, next);
+        return;
+    }
+    schedule();
+}
+
+void
+TimeMuxPolicy::admit()
+{
+    while (!fw_->activeQueueFull()) {
+        auto waiting = fw_->waitingBuffers();
+        if (waiting.empty())
+            break;
+        fw_->admit(waiting.front()); // arrival order
+    }
+}
+
+gpu::KernelExec *
+TimeMuxPolicy::current() const
+{
+    const auto &active = fw_->activeKernels();
+    if (active.empty())
+        return nullptr;
+    return active[ringPos_ % active.size()];
+}
+
+void
+TimeMuxPolicy::schedule()
+{
+    const auto &active = fw_->activeKernels();
+    if (active.empty())
+        return;
+    // Slice owner first, then the others in ring order (back-fill).
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        gpu::KernelExec *k =
+            active[(ringPos_ + i) % active.size()];
+        while (fw_->unallocatedTbs(k) > 0) {
+            gpu::Sm *sm = fw_->findIdleSm();
+            if (!sm)
+                return;
+            fw_->assignSm(sm, k);
+        }
+    }
+}
+
+void
+TimeMuxPolicy::armTimer()
+{
+    if (timer_.pending())
+        return;
+    if (fw_->numActiveKernels() < 2)
+        return; // nothing to multiplex
+    timer_ = fw_->sim().events().scheduleIn(
+        quantum_, [this] { rotate(); }, sim::prioPolicy);
+}
+
+void
+TimeMuxPolicy::rotate()
+{
+    const auto &active = fw_->activeKernels();
+    if (active.size() < 2) {
+        // Lone kernel keeps the engine; re-arm when contention is
+        // back (onCommandWaiting).
+        return;
+    }
+
+    // If the previous rotation is still vacating SMs, extend the
+    // slice instead of stacking reservations.
+    for (const auto &sm : fw_->sms()) {
+        if (sm->reserved) {
+            armTimer();
+            return;
+        }
+    }
+
+    gpu::KernelExec *outgoing = current();
+    ringPos_ = (ringPos_ + 1) % active.size();
+    gpu::KernelExec *incoming = current();
+    ++rotations_;
+
+    if (incoming != outgoing) {
+        for (const auto &sm : fw_->sms()) {
+            if (sm->kernel == outgoing && !sm->reserved &&
+                (sm->state == gpu::Sm::State::Running ||
+                 sm->state == gpu::Sm::State::Setup)) {
+                fw_->reserveSm(sm.get(), incoming);
+            }
+        }
+    }
+    schedule();
+    armTimer();
+}
+
+} // namespace core
+} // namespace gpump

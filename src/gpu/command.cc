@@ -1,0 +1,37 @@
+#include "gpu/command.hh"
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+std::shared_ptr<Command>
+Command::makeKernel(sim::ContextId ctx, int priority,
+                    const trace::KernelProfile *profile)
+{
+    GPUMP_ASSERT(profile != nullptr, "kernel command without a profile");
+    auto cmd = std::make_shared<Command>();
+    cmd->kind = Kind::KernelLaunch;
+    cmd->ctx = ctx;
+    cmd->priority = priority;
+    cmd->profile = profile;
+    return cmd;
+}
+
+std::shared_ptr<Command>
+Command::makeMemcpy(sim::ContextId ctx, int priority, Kind direction,
+                    std::int64_t bytes)
+{
+    GPUMP_ASSERT(direction != Kind::KernelLaunch,
+                 "memcpy command with kernel kind");
+    GPUMP_ASSERT(bytes >= 0, "negative memcpy size");
+    auto cmd = std::make_shared<Command>();
+    cmd->kind = direction;
+    cmd->ctx = ctx;
+    cmd->priority = priority;
+    cmd->bytes = bytes;
+    return cmd;
+}
+
+} // namespace gpu
+} // namespace gpump

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * GPU commands: what the CPU pushes through the command queues.
+ *
+ * The paper's command taxonomy (Section 2.1): kernel launches go to
+ * the execution engine, data-transfer commands go to the transfer
+ * engine.  Commands carry their context, their process priority and a
+ * monotonically increasing sequence number that defines FCFS arrival
+ * order across the whole device.
+ */
+
+#ifndef GPUMP_GPU_COMMAND_HH
+#define GPUMP_GPU_COMMAND_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/types.hh"
+#include "trace/kernel_profile.hh"
+
+namespace gpump {
+namespace gpu {
+
+class CommandQueue;
+
+/** One command as seen by the hardware. */
+struct Command
+{
+    enum class Kind
+    {
+        KernelLaunch,
+        MemcpyH2D,
+        MemcpyD2H,
+    };
+
+    Kind kind = Kind::KernelLaunch;
+    /** Issuing GPU context. */
+    sim::ContextId ctx = sim::invalidContext;
+    /** Process priority (higher value = more important). */
+    int priority = 0;
+    /** Device-wide arrival sequence number (FCFS order). */
+    std::uint64_t seq = 0;
+    /** Time the command entered the hardware queue. */
+    sim::SimTime enqueuedAt = 0;
+
+    /** KernelLaunch: the kernel to execute. */
+    const trace::KernelProfile *profile = nullptr;
+    /** Memcpy*: payload size in bytes. */
+    std::int64_t bytes = 0;
+
+    /** Hardware queue the command was popped from (set on enqueue);
+     *  engines use it to re-enable the queue on completion. */
+    CommandQueue *queue = nullptr;
+
+    /** Invoked exactly once when the command completes. */
+    std::function<void()> onComplete;
+
+    bool isKernel() const { return kind == Kind::KernelLaunch; }
+    bool isTransfer() const { return !isKernel(); }
+
+    /** Factory helpers. @{ */
+    static std::shared_ptr<Command>
+    makeKernel(sim::ContextId ctx, int priority,
+               const trace::KernelProfile *profile);
+    static std::shared_ptr<Command>
+    makeMemcpy(sim::ContextId ctx, int priority, Kind direction,
+               std::int64_t bytes);
+    /** @} */
+};
+
+using CommandPtr = std::shared_ptr<Command>;
+
+} // namespace gpu
+} // namespace gpump
+
+#endif // GPUMP_GPU_COMMAND_HH

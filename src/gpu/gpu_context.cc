@@ -1,0 +1,44 @@
+#include "gpu/gpu_context.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+GpuContext::GpuContext(sim::ContextId id, sim::ProcessId owner,
+                       int priority, memory::FrameAllocator &frames)
+    : id_(id), owner_(owner), priority_(priority), pageTable_(frames)
+{
+}
+
+void
+GpuContext::commandCompleted()
+{
+    GPUMP_ASSERT(outstanding_ > 0,
+                 "context %d completed more commands than it enqueued",
+                 id_);
+    --outstanding_;
+    if (outstanding_ == 0 && !waiters_.empty()) {
+        // Waiters may enqueue new work from inside the callback; move
+        // the list out first so re-registration is safe.
+        std::vector<std::function<void()>> ready;
+        ready.swap(waiters_);
+        for (auto &cb : ready)
+            cb();
+    }
+}
+
+void
+GpuContext::waitIdle(std::function<void()> cb)
+{
+    if (idle()) {
+        cb();
+        return;
+    }
+    waiters_.push_back(std::move(cb));
+}
+
+} // namespace gpu
+} // namespace gpump

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GPU contexts: the per-process device state.
+ *
+ * Each process using the GPU gets its own context holding the page
+ * table of its GPU address space and its streams (Section 2.1).  The
+ * multiprogramming extensions make the execution engine aware of
+ * multiple active contexts through the context table (Section 3.1);
+ * this class is one entry of that table plus the software-visible
+ * bookkeeping (outstanding commands for cudaDeviceSynchronize).
+ */
+
+#ifndef GPUMP_GPU_GPU_CONTEXT_HH
+#define GPUMP_GPU_GPU_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memory/page_table.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace gpu {
+
+/** One GPU context (one per process). */
+class GpuContext
+{
+  public:
+    /**
+     * @param id      device-unique context id.
+     * @param owner   owning process.
+     * @param priority process priority used by priority schedulers.
+     * @param frames  the device's physical frame allocator.
+     */
+    GpuContext(sim::ContextId id, sim::ProcessId owner, int priority,
+               memory::FrameAllocator &frames);
+
+    sim::ContextId id() const { return id_; }
+    sim::ProcessId owner() const { return owner_; }
+    int priority() const { return priority_; }
+
+    /** The OS may retune priorities on the fly (Section 3.3). */
+    void setPriority(int priority) { priority_ = priority; }
+
+    memory::PageTable &pageTable() { return pageTable_; }
+
+    /** @name Outstanding-command tracking (device synchronisation)
+     * @{ */
+    void commandEnqueued() { ++outstanding_; }
+    void commandCompleted();
+    int outstanding() const { return outstanding_; }
+    bool idle() const { return outstanding_ == 0; }
+
+    /**
+     * Invoke @p cb once all currently outstanding commands complete.
+     * Called back immediately (synchronously) when already idle.
+     */
+    void waitIdle(std::function<void()> cb);
+    /** @} */
+
+  private:
+    sim::ContextId id_;
+    sim::ProcessId owner_;
+    int priority_;
+    memory::PageTable pageTable_;
+    int outstanding_ = 0;
+    std::vector<std::function<void()>> waiters_;
+};
+
+} // namespace gpu
+} // namespace gpump
+
+#endif // GPUMP_GPU_GPU_CONTEXT_HH

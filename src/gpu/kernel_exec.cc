@@ -1,0 +1,67 @@
+#include "gpu/kernel_exec.hh"
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+KernelExec::KernelExec(sim::KsrIndex ksr, CommandPtr cmd,
+                       const GpuParams &params, int ptbq_capacity)
+    : ksr_(ksr), cmd_(std::move(cmd)),
+      occupancy_(maxTbsPerSm(*cmd_->profile, params)),
+      ctxBytesPerTb_(cmd_->profile->contextBytesPerTb()),
+      totalTbs_(cmd_->profile->numThreadBlocks),
+      ptbqCapacity_(ptbq_capacity)
+{
+    GPUMP_ASSERT(cmd_->isKernel(), "KernelExec from non-kernel command");
+    GPUMP_ASSERT(totalTbs_ > 0, "kernel %s with empty grid",
+                 cmd_->profile->fullName().c_str());
+}
+
+int
+KernelExec::takeFreshTb()
+{
+    GPUMP_ASSERT(hasFreshTbs(), "takeFreshTb with no fresh TBs left");
+    return nextFresh_++;
+}
+
+PreemptedTb
+KernelExec::takePreemptedTb()
+{
+    GPUMP_ASSERT(hasPreemptedTbs(), "takePreemptedTb on empty PTBQ");
+    PreemptedTb tb = ptbq_.front();
+    ptbq_.pop_front();
+    return tb;
+}
+
+void
+KernelExec::pushPreemptedTb(const PreemptedTb &tb)
+{
+    GPUMP_ASSERT(static_cast<int>(ptbq_.size()) < ptbqCapacity_,
+                 "PTBQ overflow for kernel %s (capacity %d)",
+                 profile().fullName().c_str(), ptbqCapacity_);
+    ptbq_.push_back(tb);
+}
+
+void
+KernelExec::tbStarted()
+{
+    ++running_;
+    GPUMP_ASSERT(running_ <= totalTbs_, "more TBs running than exist");
+}
+
+void
+KernelExec::tbEnded(bool completed)
+{
+    GPUMP_ASSERT(running_ > 0, "tbEnded with no running TBs");
+    --running_;
+    if (completed) {
+        ++completed_;
+        GPUMP_ASSERT(completed_ <= totalTbs_,
+                     "kernel %s completed more TBs than its grid",
+                     profile().fullName().c_str());
+    }
+}
+
+} // namespace gpu
+} // namespace gpump

@@ -1,0 +1,70 @@
+#include "gpu/sm.hh"
+
+#include "gpu/kernel_exec.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+Sm::Sm(sim::SmId id, std::size_t tlb_entries)
+    : id_(id), tlb_(tlb_entries)
+{
+}
+
+Sm::SmstState
+Sm::smstState() const
+{
+    if (reserved)
+        return SmstState::Reserved;
+    return busy() ? SmstState::Running : SmstState::Idle;
+}
+
+int
+Sm::freeSlots() const
+{
+    if (!kernel || reserved || state == State::Saving)
+        return 0;
+    int occ = kernel->occupancy();
+    int used = static_cast<int>(resident.size());
+    return occ > used ? occ - used : 0;
+}
+
+void
+Sm::clearKernel()
+{
+    GPUMP_ASSERT(resident.empty(),
+                 "SM %d cleared with %zu resident TBs", id_,
+                 resident.size());
+    kernel = nullptr;
+    nextKernel = nullptr;
+    reserved = false;
+    state = State::Idle;
+    pendingEvent = sim::EventQueue::Handle();
+}
+
+const char *
+smStateName(Sm::State s)
+{
+    switch (s) {
+      case Sm::State::Idle: return "Idle";
+      case Sm::State::Setup: return "Setup";
+      case Sm::State::Running: return "Running";
+      case Sm::State::Draining: return "Draining";
+      case Sm::State::Saving: return "Saving";
+    }
+    return "?";
+}
+
+const char *
+smstStateName(Sm::SmstState s)
+{
+    switch (s) {
+      case Sm::SmstState::Idle: return "Idle";
+      case Sm::SmstState::Running: return "Running";
+      case Sm::SmstState::Reserved: return "Reserved";
+    }
+    return "?";
+}
+
+} // namespace gpu
+} // namespace gpump

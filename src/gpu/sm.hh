@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sm: one streaming multiprocessor of the execution engine.
+ *
+ * The SM holds the resident thread blocks of exactly one kernel
+ * (static hardware partitioning, Section 2.3), the per-SM context
+ * extension of Section 3.1 (context id / base page table registers,
+ * modelled with a TLB that is flushed on re-targeting), and the
+ * preemption state machine driven by the SM driver:
+ *
+ *     Idle -> Setup -> Running -> (Draining | Saving) -> ...
+ *
+ * Draining and Saving are the in-flight phases of the two preemption
+ * mechanisms of Section 3.2.  The architectural SMST view (Idle /
+ * Running / Reserved) is derived from this detailed state plus the
+ * reserved flag.
+ */
+
+#ifndef GPUMP_GPU_SM_HH
+#define GPUMP_GPU_SM_HH
+
+#include <vector>
+
+#include "memory/page_table.hh"
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace gpu {
+
+class KernelExec;
+
+/** One thread block resident on an SM. */
+struct ResidentTb
+{
+    /** Thread block index within its kernel's grid. */
+    int tbIndex;
+    /** When execution (including any restore prefix) began. */
+    sim::SimTime startedAt;
+    /** When the completion event will fire if not preempted. */
+    sim::SimTime endAt;
+    /** The completion event (cancelled on context-switch preemption). */
+    sim::EventQueue::Handle completion;
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    /** Detailed execution state (see file comment). */
+    enum class State
+    {
+        Idle,     ///< no kernel assigned
+        Setup,    ///< SM driver configuring the SM for a kernel
+        Running,  ///< executing thread blocks
+        Draining, ///< reserved, running TBs to completion (mechanism 2)
+        Saving,   ///< reserved, context being saved (mechanism 1)
+    };
+
+    /** Architectural state as stored in the SMST (Section 3.3). */
+    enum class SmstState
+    {
+        Idle,
+        Running,
+        Reserved,
+    };
+
+    Sm(sim::SmId id, std::size_t tlb_entries);
+
+    sim::SmId id() const { return id_; }
+
+    /** @name State (written by the SM driver / framework)
+     * @{ */
+    State state = State::Idle;
+    /** Kernel currently owning the SM (nullptr when Idle). */
+    KernelExec *kernel = nullptr;
+    /** Kernel the SM is reserved for (SMST "next" field). */
+    KernelExec *nextKernel = nullptr;
+    /** SMST reserved bit. */
+    bool reserved = false;
+    /** Thread blocks resident right now. */
+    std::vector<ResidentTb> resident;
+    /** Pending setup / save-completion event. */
+    sim::EventQueue::Handle pendingEvent;
+    /** Context whose state (context id register, base page table
+     *  register, TLB) is loaded; persists across kernels of the same
+     *  context so back-to-back launches avoid the reload cost. */
+    sim::ContextId loadedContext = sim::invalidContext;
+    /** @} */
+
+    /** The SMST view of this SM. */
+    SmstState smstState() const;
+
+    /** True when a kernel is set up on this SM (any non-idle state). */
+    bool busy() const { return state != State::Idle; }
+
+    /** Per-SM TLB (flushed when re-targeted to another context). */
+    memory::Tlb &tlb() { return tlb_; }
+
+    /** Number of additional TBs that fit, given the current kernel's
+     *  occupancy; 0 when idle or reserved. */
+    int freeSlots() const;
+
+    /** Drop all per-kernel state, returning to Idle.  The caller is
+     *  responsible for having unwound resident TBs first. */
+    void clearKernel();
+
+  private:
+    sim::SmId id_;
+    memory::Tlb tlb_;
+};
+
+/** Printable SM state names (for logs and tests). */
+const char *smStateName(Sm::State s);
+const char *smstStateName(Sm::SmstState s);
+
+} // namespace gpu
+} // namespace gpump
+
+#endif // GPUMP_GPU_SM_HH

@@ -1,0 +1,47 @@
+#include "gpu/stream.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+Stream::Stream(sim::Simulation &sim, GpuContext &ctx,
+               Dispatcher &dispatcher, CommandQueue *queue,
+               sim::SimTime submit_latency)
+    : sim_(&sim), ctx_(&ctx), dispatcher_(&dispatcher), queue_(queue),
+      submitLatency_(submit_latency)
+{
+    GPUMP_ASSERT(queue != nullptr, "stream bound to null queue");
+    GPUMP_ASSERT(queue->ctx() == ctx.id(),
+                 "stream bound to another context's queue");
+}
+
+void
+Stream::enqueue(CommandPtr cmd)
+{
+    GPUMP_ASSERT(cmd != nullptr, "null command enqueued");
+    GPUMP_ASSERT(cmd->ctx == ctx_->id(),
+                 "command context %d enqueued on stream of context %d",
+                 cmd->ctx, ctx_->id());
+
+    ctx_->commandEnqueued();
+    auto user_cb = std::move(cmd->onComplete);
+    GpuContext *ctx = ctx_;
+    cmd->onComplete = [ctx, user_cb = std::move(user_cb)] {
+        ctx->commandCompleted();
+        if (user_cb)
+            user_cb();
+    };
+
+    // Same-time events fire in scheduling order, so a burst of
+    // enqueues stays in order through the submission delay.
+    sim_->events().scheduleIn(
+        submitLatency_,
+        [this, cmd] { dispatcher_->enqueue(queue_, cmd); },
+        sim::prioDriver);
+}
+
+} // namespace gpu
+} // namespace gpump

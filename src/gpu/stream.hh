@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CUDA-style streams: the software work queues of the programming
+ * model (Section 2.1).
+ *
+ * Commands pushed into one stream execute in order; the hardware
+ * enforces this because a stream maps onto one hardware command queue
+ * and the dispatcher issues at most one command per queue at a time.
+ * The stream's job here is the CPU-side plumbing: stamping context
+ * accounting, chaining completion callbacks and charging the
+ * CPU-to-GPU submission latency.
+ */
+
+#ifndef GPUMP_GPU_STREAM_HH
+#define GPUMP_GPU_STREAM_HH
+
+#include "gpu/command.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_context.hh"
+#include "sim/simulation.hh"
+
+namespace gpump {
+namespace gpu {
+
+/** One software stream bound to one hardware command queue. */
+class Stream
+{
+  public:
+    /**
+     * @param sim    simulation context.
+     * @param ctx    owning GPU context.
+     * @param dispatcher the device's command dispatcher.
+     * @param queue  hardware queue this stream maps onto.
+     * @param submit_latency CPU-to-GPU command submission latency.
+     */
+    Stream(sim::Simulation &sim, GpuContext &ctx, Dispatcher &dispatcher,
+           CommandQueue *queue, sim::SimTime submit_latency);
+
+    GpuContext &context() { return *ctx_; }
+
+    /**
+     * Enqueue @p cmd.  The command reaches the hardware queue after
+     * the submission latency; its onComplete (if any) runs when the
+     * command finishes on the device, after the context's outstanding
+     * count has been decremented.
+     */
+    void enqueue(CommandPtr cmd);
+
+  private:
+    sim::Simulation *sim_;
+    GpuContext *ctx_;
+    Dispatcher *dispatcher_;
+    CommandQueue *queue_;
+    sim::SimTime submitLatency_;
+};
+
+} // namespace gpu
+} // namespace gpump
+
+#endif // GPUMP_GPU_STREAM_HH

@@ -1,0 +1,98 @@
+#include "gpu/transfer_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace gpu {
+
+TransferEngine::Policy
+TransferEngine::policyFromName(const std::string &name)
+{
+    if (name == "fcfs")
+        return Policy::Fcfs;
+    if (name == "priority")
+        return Policy::Priority;
+    sim::fatal("unknown transfer engine policy '%s'", name.c_str());
+}
+
+TransferEngine::TransferEngine(sim::Simulation &sim, memory::PcieBus &bus,
+                               Policy policy)
+    : sim_(&sim), bus_(&bus), policy_(policy),
+      transfersDone_(sim.stats(), "xfer.transfers", "completed transfers"),
+      waitTime_(sim.stats(), "xfer.wait_us",
+                "queueing delay of transfers (us)"),
+      serviceTime_(sim.stats(), "xfer.service_us",
+                   "on-the-wire time of transfers (us)")
+{
+}
+
+void
+TransferEngine::setCompletionNotifier(std::function<void(CommandQueue *)> fn)
+{
+    notifier_ = std::move(fn);
+}
+
+void
+TransferEngine::submit(const CommandPtr &cmd)
+{
+    GPUMP_ASSERT(cmd && cmd->isTransfer(),
+                 "transfer engine given a non-transfer command");
+    queue_.push_back(cmd);
+    if (!busy())
+        startNext();
+}
+
+void
+TransferEngine::startNext()
+{
+    GPUMP_ASSERT(!busy(), "transfer engine started while busy");
+    if (queue_.empty())
+        return;
+
+    auto pick = queue_.begin();
+    if (policy_ == Policy::Priority) {
+        // Highest priority wins; FCFS (sequence order) within a level.
+        pick = std::max_element(
+            queue_.begin(), queue_.end(),
+            [](const CommandPtr &a, const CommandPtr &b) {
+                if (a->priority != b->priority)
+                    return a->priority < b->priority;
+                return a->seq > b->seq; // earlier seq preferred
+            });
+    }
+    current_ = *pick;
+    queue_.erase(pick);
+
+    waitTime_.sample(sim::toMicroseconds(sim_->now() -
+                                         current_->enqueuedAt));
+    sim::SimTime duration = bus_->transferDuration(current_->bytes);
+    serviceTime_.sample(sim::toMicroseconds(duration));
+    bus_->recordTransfer(current_->bytes, duration);
+
+    CommandPtr cmd = current_;
+    sim_->events().scheduleIn(
+        duration, [this, cmd] { finish(cmd); }, sim::prioCompletion);
+}
+
+void
+TransferEngine::finish(CommandPtr cmd)
+{
+    GPUMP_ASSERT(current_ == cmd, "transfer completion out of order");
+    current_ = nullptr;
+    ++transfersDone_;
+
+    // Re-enable the hardware queue first so in-order successors are
+    // visible to the dispatcher, then run the software callback.
+    if (notifier_ && cmd->queue)
+        notifier_(cmd->queue);
+    if (cmd->onComplete)
+        cmd->onComplete();
+
+    if (!busy())
+        startNext();
+}
+
+} // namespace gpu
+} // namespace gpump

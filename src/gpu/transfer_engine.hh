@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The data transfer engine (Section 2.2).
+ *
+ * Executes memcpy commands over the PCIe bus, one at a time.  The DMA
+ * queue can be drained FCFS (the baseline) or by priority (the NPQ
+ * transfer-engine policy used in the Figure 5/6 experiments; the
+ * paper keeps kernel and transfer scheduling policies independent).
+ */
+
+#ifndef GPUMP_GPU_TRANSFER_ENGINE_HH
+#define GPUMP_GPU_TRANSFER_ENGINE_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "gpu/command.hh"
+#include "memory/pcie.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace gpump {
+namespace gpu {
+
+class CommandQueue;
+
+/** The GPU's DMA / copy engine. */
+class TransferEngine
+{
+  public:
+    /** Queueing discipline of the DMA queue. */
+    enum class Policy
+    {
+        Fcfs,     ///< arrival order
+        Priority, ///< highest process priority first, FCFS within
+    };
+
+    /** Parse "fcfs" / "priority"; raises fatal() otherwise. */
+    static Policy policyFromName(const std::string &name);
+
+    TransferEngine(sim::Simulation &sim, memory::PcieBus &bus,
+                   Policy policy);
+
+    /**
+     * Engines notify the dispatcher through this hook so the command
+     * queue the transfer came from can be re-enabled.  Wired once at
+     * assembly.
+     */
+    void setCompletionNotifier(std::function<void(CommandQueue *)> fn);
+
+    /** Accept a memcpy command from the dispatcher. */
+    void submit(const CommandPtr &cmd);
+
+    bool busy() const { return current_ != nullptr; }
+    std::size_t queued() const { return queue_.size(); }
+    Policy policy() const { return policy_; }
+
+  private:
+    void startNext();
+    void finish(CommandPtr cmd);
+
+    sim::Simulation *sim_;
+    memory::PcieBus *bus_;
+    Policy policy_;
+    std::function<void(CommandQueue *)> notifier_;
+    std::deque<CommandPtr> queue_;
+    CommandPtr current_;
+
+    sim::Scalar transfersDone_;
+    sim::Distribution waitTime_;
+    sim::Distribution serviceTime_;
+};
+
+} // namespace gpu
+} // namespace gpump
+
+#endif // GPUMP_GPU_TRANSFER_ENGINE_HH

@@ -1,0 +1,71 @@
+#include "harness/args.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace harness {
+
+Args::Args(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.rfind("--", 0) == 0) {
+            auto eq = tok.find('=');
+            if (eq == std::string::npos) {
+                flags_[tok.substr(2)] = "true";
+            } else {
+                flags_[tok.substr(2, eq - 2)] = tok.substr(eq + 1);
+            }
+        } else if (!config_.parse(tok)) {
+            sim::fatal("malformed argument '%s' (expected --flag[=v] "
+                       "or key=value)",
+                       tok.c_str());
+        }
+    }
+}
+
+bool
+Args::hasFlag(const std::string &name) const
+{
+    return flags_.count(name) != 0;
+}
+
+std::string
+Args::flag(const std::string &name, const std::string &def) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t
+Args::flagInt(const std::string &name, std::int64_t def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        sim::fatal("flag --%s expects an integer, got '%s'",
+                   name.c_str(), it->second.c_str());
+    return static_cast<std::int64_t>(v);
+}
+
+double
+Args::flagDouble(const std::string &name, double def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        sim::fatal("flag --%s expects a number, got '%s'",
+                   name.c_str(), it->second.c_str());
+    return v;
+}
+
+} // namespace harness
+} // namespace gpump

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal command-line handling for benches and examples.
+ *
+ * Every experiment binary accepts:
+ *  - "--name=value" flags (consumed by the binary itself, e.g.
+ *    --workloads=20);
+ *  - bare "key=value" tokens, forwarded into the simulation Config so
+ *    any model parameter can be overridden without recompiling.
+ */
+
+#ifndef GPUMP_HARNESS_ARGS_HH
+#define GPUMP_HARNESS_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace gpump {
+namespace harness {
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    /** Parse argv; raises fatal() on malformed tokens. */
+    Args(int argc, char **argv);
+
+    /** Config overrides collected from bare key=value tokens. */
+    const sim::Config &config() const { return config_; }
+
+    /** @name Flag accessors (--name=value), with defaults
+     * @{ */
+    bool hasFlag(const std::string &name) const;
+    std::string flag(const std::string &name,
+                     const std::string &def) const;
+    std::int64_t flagInt(const std::string &name, std::int64_t def) const;
+    double flagDouble(const std::string &name, double def) const;
+    /** @} */
+
+  private:
+    sim::Config config_;
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_ARGS_HH

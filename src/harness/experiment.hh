@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment runner: the glue between workload plans, systems and
+ * metrics.
+ *
+ * An Experiment caches per-benchmark isolated execution times (the
+ * denominator of every Eyerman-Eeckhout metric) and runs (plan,
+ * scheme) pairs to SystemMetrics.  All benches build on this.
+ */
+
+#ifndef GPUMP_HARNESS_EXPERIMENT_HH
+#define GPUMP_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hh"
+#include "sim/config.hh"
+#include "workload/generator.hh"
+#include "workload/system.hh"
+
+namespace gpump {
+namespace harness {
+
+/** A scheduling scheme: the knobs the paper's figures compare. */
+struct Scheme
+{
+    std::string policy = "fcfs";
+    std::string mechanism = "context_switch";
+    std::string transferPolicy = "fcfs";
+
+    /** "policy/mechanism" label for reports. */
+    std::string label() const;
+};
+
+/** Result of one workload under one scheme. */
+struct SchemeResult
+{
+    metrics::SystemMetrics metrics;
+    std::vector<double> meanTurnaroundUs;
+    std::uint64_t preemptions = 0;
+    std::uint64_t kernelsCompleted = 0;
+    double contextBytesSaved = 0.0;
+    sim::SimTime endTime = 0;
+};
+
+/** Runs workloads under schemes against cached isolated baselines. */
+class Experiment
+{
+  public:
+    /** @param base config overrides applied to every simulation. */
+    explicit Experiment(sim::Config base = sim::Config());
+
+    const sim::Config &baseConfig() const { return base_; }
+
+    /**
+     * Isolated execution time of @p benchmark (microseconds): the
+     * application alone on the machine under FCFS, mean turnaround
+     * over minReplays executions.  Cached.
+     */
+    double isolatedTimeUs(const std::string &benchmark);
+
+    /** Run @p plan under @p scheme and compute the metric set. */
+    SchemeResult run(const workload::WorkloadPlan &plan,
+                     const Scheme &scheme);
+
+    /** Replays each process must complete (default 3, Section 4.1). */
+    void setMinReplays(int n) { minReplays_ = n; }
+    int minReplays() const { return minReplays_; }
+
+  private:
+    sim::Config base_;
+    int minReplays_ = 3;
+    std::map<std::string, double> isolatedCache_;
+};
+
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_EXPERIMENT_HH

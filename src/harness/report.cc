@@ -1,0 +1,95 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace harness {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GPUMP_ASSERT(!headers_.empty(), "table with no columns");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    GPUMP_ASSERT(cells.size() == headers_.size(),
+                 "row with %zu cells in a %zu-column table",
+                 cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.emplace_back(); // empty row marks a separator
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    auto print_rule = [&] {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << "\n";
+    };
+
+    print_line(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_line(row);
+    }
+}
+
+void
+AsciiTable::printCsv(std::ostream &os) const
+{
+    auto print_line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c == 0 ? "" : ",") << cells[c];
+        os << "\n";
+    };
+    print_line(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            print_line(row);
+    }
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    return sim::strformat("%.*f", decimals, value);
+}
+
+std::string
+fmtTimes(double value, int decimals)
+{
+    return sim::strformat("%.*fx", decimals, value);
+}
+
+} // namespace harness
+} // namespace gpump

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Result reporting: aligned ASCII tables and CSV emission.
+ *
+ * Every bench prints the rows/series of its paper table or figure in
+ * both human-readable and machine-readable (CSV) form so results can
+ * be compared against the published numbers and replotted.
+ */
+
+#ifndef GPUMP_HARNESS_REPORT_HH
+#define GPUMP_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpump {
+namespace harness {
+
+/** Aligned-column ASCII table builder. */
+class AsciiTable
+{
+  public:
+    /** @param headers column titles. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with padded columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (separators omitted). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; ///< empty row = separator
+};
+
+/** Format helpers for table cells. @{ */
+std::string fmt(double value, int decimals = 2);
+std::string fmtTimes(double value, int decimals = 2); ///< "1.53x"
+/** @} */
+
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_REPORT_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-context page tables and the per-SM TLB model.
+ *
+ * Section 3.1 of the paper extends each SM with a base page table
+ * register so that SMs running kernels from different contexts can
+ * translate through different address spaces (the baseline shared one
+ * page table across the whole engine).  The memory hierarchy below
+ * the private levels uses physical addresses, so no further changes
+ * are needed.
+ *
+ * The functional model here provides:
+ *  - a frame allocator and per-context page table (map/translate);
+ *  - a small fully-associative LRU TLB per SM that must be flushed
+ *    when the SM is re-targeted to a different context.
+ */
+
+#ifndef GPUMP_MEMORY_PAGE_TABLE_HH
+#define GPUMP_MEMORY_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace gpump {
+namespace memory {
+
+/** Virtual / physical addresses in the GPU address spaces. */
+using VirtAddr = std::uint64_t;
+using PhysAddr = std::uint64_t;
+
+/** Page size used by the GPU MMU (64 KB, typical for GPUs). */
+constexpr std::uint64_t gpuPageBytes = 64 * 1024;
+
+/** Hands out physical frames; shared by all contexts on one device. */
+class FrameAllocator
+{
+  public:
+    /** @param frames total number of physical frames. */
+    explicit FrameAllocator(std::uint64_t frames);
+
+    /** Allocate one frame; std::nullopt when physical memory is full. */
+    std::optional<PhysAddr> allocate();
+
+    /** Return a frame to the pool. */
+    void release(PhysAddr frame_base);
+
+    std::uint64_t freeFrames() const;
+    std::uint64_t totalFrames() const { return totalFrames_; }
+
+  private:
+    std::uint64_t totalFrames_;
+    std::uint64_t nextNever_ = 0;       ///< frames never handed out yet
+    std::list<PhysAddr> freeList_;      ///< recycled frames
+};
+
+/**
+ * One context's page table.  Walks are functional; the walk *latency*
+ * is charged by the TLB model on a miss.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(FrameAllocator &frames) : frames_(&frames) {}
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Map @p bytes of virtual space starting at @p base.
+     * @return false when physical frames are exhausted (no swap-out
+     *         exists on this hardware), in which case nothing is
+     *         mapped.
+     */
+    bool map(VirtAddr base, std::uint64_t bytes);
+
+    /** Unmap a previously mapped range (page granular). */
+    void unmap(VirtAddr base, std::uint64_t bytes);
+
+    /** Translate; std::nullopt on unmapped access. */
+    std::optional<PhysAddr> translate(VirtAddr va) const;
+
+    std::size_t mappedPages() const { return entries_.size(); }
+
+  private:
+    FrameAllocator *frames_;
+    std::unordered_map<std::uint64_t, PhysAddr> entries_; ///< vpage -> frame
+};
+
+/**
+ * Fully-associative LRU TLB, one per SM.
+ *
+ * On a context switch of the SM the TLB must be flushed because the
+ * new kernel translates through a different page table.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t entries = 64);
+
+    /**
+     * Look up @p va against @p pt, filling on miss.
+     * @return the translation, or std::nullopt for an unmapped access
+     *         (which is a fault; nothing is cached).
+     */
+    std::optional<PhysAddr> access(const PageTable &pt, VirtAddr va);
+
+    /** Drop all entries (SM re-targeted to another context). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    /// LRU order: front = most recent.  Maps vpage -> paddr base.
+    std::list<std::pair<std::uint64_t, PhysAddr>> lru_;
+    std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+};
+
+} // namespace memory
+} // namespace gpump
+
+#endif // GPUMP_MEMORY_PAGE_TABLE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PCI Express bus timing model.
+ *
+ * Matches the evaluation platform of Table 2: a 500 MHz, 32-lane link
+ * moving data in 4 KB bursts (16 GB/s effective).  The bus is a pure
+ * timing/utilization model; queueing discipline lives in the transfer
+ * engine that drives it (gpu/transfer_engine).
+ */
+
+#ifndef GPUMP_MEMORY_PCIE_HH
+#define GPUMP_MEMORY_PCIE_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace memory {
+
+/** Table 2 PCIe parameters, overridable through Config. */
+struct PcieParams
+{
+    /** Link clock in Hz (Table 2: 500 MHz). */
+    double clockHz = 500e6;
+    /** Number of lanes (Table 2: 32). */
+    int lanes = 32;
+    /** Burst (maximum payload) size in bytes (Table 2: 4 KB). */
+    std::int64_t burstBytes = 4096;
+    /** Payload bytes moved per lane per clock. */
+    double bytesPerLanePerClock = 1.0;
+    /** Fixed DMA setup cost per transfer. */
+    sim::SimTime setupLatency = sim::microseconds(2.0);
+
+    /** Effective bandwidth in bytes/second. */
+    double bandwidth() const
+    {
+        return clockHz * static_cast<double>(lanes) * bytesPerLanePerClock;
+    }
+
+    /** Build from config keys "pcie.*" with Table 2 defaults. */
+    static PcieParams fromConfig(const sim::Config &cfg);
+};
+
+/**
+ * The bus itself: computes transfer durations and tracks utilization.
+ *
+ * Transfers are padded to whole bursts, as real DMA engines move whole
+ * max-payload packets.
+ */
+class PcieBus
+{
+  public:
+    PcieBus(sim::StatRegistry &stats, const PcieParams &params);
+
+    const PcieParams &params() const { return params_; }
+
+    /**
+     * Time to move @p bytes across the link, including per-transfer
+     * DMA setup.  Zero-byte transfers still pay the setup cost (they
+     * are real API calls).
+     *
+     * @pre bytes >= 0
+     */
+    sim::SimTime transferDuration(std::int64_t bytes) const;
+
+    /** Account a completed transfer for the utilization statistics. */
+    void recordTransfer(std::int64_t bytes, sim::SimTime duration);
+
+    /** Total bytes moved so far. */
+    double bytesMoved() const { return bytesMoved_.value(); }
+
+    /** Total time the link spent busy. */
+    sim::SimTime busyTime() const
+    {
+        return static_cast<sim::SimTime>(busyTime_.value());
+    }
+
+  private:
+    PcieParams params_;
+    sim::Scalar bytesMoved_;
+    sim::Scalar transfers_;
+    sim::Scalar busyTime_;
+};
+
+} // namespace memory
+} // namespace gpump
+
+#endif // GPUMP_MEMORY_PCIE_HH

@@ -1,0 +1,61 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace metrics {
+
+SystemMetrics
+computeMetrics(const std::vector<double> &isolated_us,
+               const std::vector<double> &multi_us)
+{
+    if (isolated_us.size() != multi_us.size())
+        sim::fatal("metrics: %zu isolated times vs %zu workload times",
+                   isolated_us.size(), multi_us.size());
+    if (isolated_us.empty())
+        sim::fatal("metrics: empty workload");
+
+    SystemMetrics m;
+    m.ntt.reserve(isolated_us.size());
+    for (std::size_t i = 0; i < isolated_us.size(); ++i) {
+        if (isolated_us[i] <= 0.0 || multi_us[i] <= 0.0)
+            sim::fatal("metrics: non-positive execution time for "
+                       "process %zu", i);
+        m.ntt.push_back(multi_us[i] / isolated_us[i]);
+        m.stp += isolated_us[i] / multi_us[i];
+    }
+    m.antt = mean(m.ntt);
+
+    double lo = *std::min_element(m.ntt.begin(), m.ntt.end());
+    double hi = *std::max_element(m.ntt.begin(), m.ntt.end());
+    m.fairness = hi > 0.0 ? lo / hi : 0.0;
+    return m;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    GPUMP_ASSERT(!values.empty(), "mean of nothing");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    GPUMP_ASSERT(!values.empty(), "geomean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        GPUMP_ASSERT(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace metrics
+} // namespace gpump

@@ -1,0 +1,131 @@
+#include "sim/config.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace sim {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    values_[key] = strformat("%.17g", value);
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values_[key] = strformat("%lld", static_cast<long long>(value));
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+bool
+Config::parse(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    values_[token.substr(0, eq)] = token.substr(eq + 1);
+    return true;
+}
+
+void
+Config::parseAll(const std::vector<std::string> &tokens)
+{
+    for (const auto &t : tokens) {
+        if (!parse(t))
+            fatal("malformed config token '%s' (expected key=value)",
+                  t.c_str());
+    }
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s' has non-numeric value '%s'",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        fatal("config key '%s' has non-integer value '%s'",
+              key.c_str(), it->second.c_str());
+    return static_cast<std::int64_t>(v);
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s' has non-boolean value '%s'",
+          key.c_str(), v.c_str());
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Config::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_)
+        os << kv.first << " = " << kv.second << "\n";
+}
+
+} // namespace sim
+} // namespace gpump

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Key-value configuration store.
+ *
+ * Every tunable in the simulator reads its value through a Config so
+ * that benches and examples can override any parameter from the
+ * command line as "key=value" tokens without recompiling.  Typed
+ * accessors validate and convert; unknown keys fall back to the
+ * caller-provided default (the model's published value).
+ */
+
+#ifndef GPUMP_SIM_CONFIG_HH
+#define GPUMP_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpump {
+namespace sim {
+
+/** String-keyed configuration with typed, validated accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, bool value);
+
+    /** True when @p key has been set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Parse one "key=value" token.
+     * @return false (leaving the config untouched) if the token has
+     *         no '=' or an empty key.
+     */
+    bool parse(const std::string &token);
+
+    /**
+     * Parse a list of "key=value" tokens, e.g. trailing CLI arguments.
+     * Tokens that fail to parse raise fatal().
+     */
+    void parseAll(const std::vector<std::string> &tokens);
+
+    /** @name Typed getters with defaults
+     *  Return the stored value converted to the requested type, or
+     *  @p def when the key is absent.  Conversion failures raise
+     *  fatal() naming the offending key.
+     *  @{
+     */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    double getDouble(const std::string &key, double def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    bool getBool(const std::string &key, bool def) const;
+    /** @} */
+
+    /** All keys in sorted order (for reproducible dumps). */
+    std::vector<std::string> keys() const;
+
+    /** Dump as "key = value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_CONFIG_HH

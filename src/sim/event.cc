@@ -1,0 +1,118 @@
+#include "sim/event.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace sim {
+
+/**
+ * Shared cancellation record.  The callback lives here so that
+ * cancelling an event also releases whatever the callback captured.
+ * The record shares the queue's live-event counter so cancellation
+ * can maintain it without holding a pointer back to the queue.
+ */
+struct EventQueue::Handle::Record
+{
+    EventQueue::Callback callback;
+    std::shared_ptr<std::size_t> live;
+    bool cancelled = false;
+    bool done = false;
+};
+
+bool
+EventQueue::Handle::pending() const
+{
+    return rec_ && !rec_->cancelled && !rec_->done;
+}
+
+bool
+EventQueue::Handle::cancel()
+{
+    if (!pending())
+        return false;
+    rec_->cancelled = true;
+    rec_->callback = nullptr;
+    --*rec_->live;
+    return true;
+}
+
+bool
+EventQueue::EntryOrder::operator()(const Entry &a, const Entry &b) const
+{
+    // std::priority_queue is a max-heap; invert to pop the smallest.
+    if (a.when != b.when)
+        return a.when > b.when;
+    if (a.priority != b.priority)
+        return a.priority > b.priority;
+    return a.seq > b.seq;
+}
+
+EventQueue::EventQueue()
+    : live_(std::make_shared<std::size_t>(0))
+{
+}
+
+EventQueue::Handle
+EventQueue::schedule(SimTime when, Callback cb, int priority)
+{
+    GPUMP_ASSERT(when >= now_,
+                 "event scheduled in the past (when=%lld now=%lld)",
+                 static_cast<long long>(when), static_cast<long long>(now_));
+    GPUMP_ASSERT(cb != nullptr, "event scheduled with null callback");
+
+    auto rec = std::make_shared<Handle::Record>();
+    rec->callback = std::move(cb);
+    rec->live = live_;
+    heap_.push(Entry{when, priority, seq_++, rec});
+    ++*live_;
+    return Handle(std::move(rec));
+}
+
+EventQueue::Handle
+EventQueue::scheduleIn(SimTime delay, Callback cb, int priority)
+{
+    GPUMP_ASSERT(delay >= 0, "negative event delay %lld",
+                 static_cast<long long>(delay));
+    return schedule(now_ + delay, std::move(cb), priority);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        if (top.rec->cancelled)
+            continue; // live counter already adjusted by cancel()
+        now_ = top.when;
+        top.rec->done = true;
+        --*live_;
+        ++executed_;
+        Callback cb = std::move(top.rec->callback);
+        top.rec->callback = nullptr;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+SimTime
+EventQueue::run(SimTime limit)
+{
+    while (!heap_.empty()) {
+        // Drop cancelled entries without advancing time.
+        if (heap_.top().rec->cancelled) {
+            heap_.pop();
+            continue;
+        }
+        if (heap_.top().when > limit)
+            break;
+        step();
+    }
+    return now_;
+}
+
+} // namespace sim
+} // namespace gpump

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Discrete-event core: a cancellable, deterministic event queue.
+ *
+ * The whole simulator is single threaded and driven by one EventQueue.
+ * Determinism guarantees:
+ *  - events fire in nondecreasing time order;
+ *  - events at the same time fire in ascending priority value;
+ *  - events with equal (time, priority) fire in scheduling order.
+ *
+ * Cancellation is first-class because preemption must revoke the
+ * completion events of thread blocks that are context-switched out.
+ */
+
+#ifndef GPUMP_SIM_EVENT_HH
+#define GPUMP_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gpump {
+namespace sim {
+
+/**
+ * Priority values for simultaneous events.  Lower fires first.
+ *
+ * The ordering encodes the hardware's intra-cycle precedence: state
+ * updates (completions) are observed before the logic that reacts to
+ * them (drivers, policies) runs, and generic callbacks go last.
+ */
+enum EventPriority : int
+{
+    prioCompletion = 0, ///< engine/TB completions, state becomes visible
+    prioDriver = 10,    ///< SM driver / dispatcher reactions
+    prioPolicy = 20,    ///< scheduling policy invocations
+    prioDefault = 30,   ///< everything else
+};
+
+/**
+ * Deterministic event queue with O(log n) schedule/pop and lazy
+ * cancellation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Handle to a scheduled event; allows cancellation.
+     *
+     * Handles are cheap to copy; a default-constructed handle is
+     * inert.  A handle may outlive the queue: it keeps only the shared
+     * cancellation record alive.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** True if the event is still scheduled (not run or cancelled). */
+        bool pending() const;
+
+        /**
+         * Cancel the event if still pending.
+         * @return true if this call cancelled it, false if it had
+         *         already run or been cancelled.
+         */
+        bool cancel();
+
+      private:
+        friend class EventQueue;
+        struct Record;
+        explicit Handle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+        std::shared_ptr<Record> rec_;
+    };
+
+    EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    Handle schedule(SimTime when, Callback cb, int priority = prioDefault);
+
+    /** Schedule @p cb to run @p delay after now. @pre delay >= 0 */
+    Handle scheduleIn(SimTime delay, Callback cb, int priority = prioDefault);
+
+    /** Number of live (non-cancelled, not yet run) events. */
+    std::size_t pending() const { return *live_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return *live_ == 0; }
+
+    /**
+     * Run the next live event.
+     * @return false when no live event remains.
+     */
+    bool step();
+
+    /**
+     * Run events until the queue drains or the next event lies beyond
+     * @p limit (events exactly at @p limit run).
+     *
+     * @return the current time after the last executed event.
+     */
+    SimTime run(SimTime limit = maxTime);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        int priority;
+        std::uint64_t seq;
+        std::shared_ptr<Handle::Record> rec;
+    };
+    struct EntryOrder
+    {
+        bool operator()(const Entry &a, const Entry &b) const;
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    /// Shared with handle records so Handle::cancel can maintain it.
+    std::shared_ptr<std::size_t> live_;
+    std::priority_queue<Entry, std::vector<Entry>, EntryOrder> heap_;
+};
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_EVENT_HH

@@ -1,0 +1,115 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace gpump {
+namespace sim {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Debug: return "debug: ";
+      case LogLevel::Trace: return "trace: ";
+      default: return "";
+    }
+}
+
+} // namespace
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string result = vformat(fmt, args);
+    va_end(args);
+    return result;
+}
+
+Logger &
+Logger::global()
+{
+    static Logger instance;
+    return instance;
+}
+
+void
+Logger::emit(LogLevel level, const std::string &msg)
+{
+    if (!enabled(level))
+        return;
+    std::fprintf(stderr, "%s%s\n", levelPrefix(level), msg.c_str());
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Warn, msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Inform, msg);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Debug, msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw FatalError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw PanicError(msg);
+}
+
+} // namespace sim
+} // namespace gpump

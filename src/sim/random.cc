@@ -1,0 +1,146 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &s : state_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    GPUMP_ASSERT(n > 0, "uniformInt: n must be positive");
+    // Rejection sampling to remove modulo bias.
+    std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    GPUMP_ASSERT(lo <= hi, "uniformInt: empty range [%lld, %lld]",
+                 static_cast<long long>(lo), static_cast<long long>(hi));
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; draw both uniforms every call so that the stream
+    // consumed per sample is fixed (important for reproducibility).
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mean, double cv)
+{
+    GPUMP_ASSERT(mean > 0.0, "lognormal: mean must be positive");
+    GPUMP_ASSERT(cv >= 0.0, "lognormal: cv must be non-negative");
+    if (cv == 0.0)
+        return mean;
+    // For LogN(mu, sigma^2): E = exp(mu + sigma^2/2),
+    // CV^2 = exp(sigma^2) - 1.  Solve for (mu, sigma).
+    double sigma2 = std::log(1.0 + cv * cv);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+double
+Rng::exponential(double mean)
+{
+    GPUMP_ASSERT(mean > 0.0, "exponential: mean must be positive");
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream; the child is then
+    // seeded through SplitMix64 so the streams are decorrelated.
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace sim
+} // namespace gpump

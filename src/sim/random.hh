@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * The simulator must be reproducible: the same seed must produce the
+ * same schedule on every platform and standard library.  We therefore
+ * avoid std::{mt19937,distributions} (whose outputs are not pinned
+ * across implementations for all distributions) and implement
+ * xoshiro256** plus the handful of distributions the models need.
+ */
+
+#ifndef GPUMP_SIM_RANDOM_HH
+#define GPUMP_SIM_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace gpump {
+namespace sim {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna) with SplitMix64 seeding.
+ *
+ * Fast, high-quality and fully portable.  One instance per simulation;
+ * components draw from the simulation's generator so that a single
+ * seed pins the entire run.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed in place, restoring a deterministic state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /**
+     * Uniform integer in [0, n).
+     *
+     * Uses rejection sampling, so the result is exactly uniform.
+     * @pre n > 0
+     */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (deterministic, no cache). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal parameterised by its *linear-domain* mean and
+     * coefficient of variation.
+     *
+     * This is the natural parameterisation for thread-block durations:
+     * the mean is the calibrated duration from the kernel profile and
+     * the CV expresses run-to-run variability.  cv == 0 degenerates to
+     * the deterministic mean.
+     *
+     * @pre mean > 0, cv >= 0
+     */
+    double lognormal(double mean, double cv);
+
+    /** Exponential with the given mean. @pre mean > 0 */
+    double exponential(double mean);
+
+    /**
+     * Fork a child generator with an independent stream.
+     *
+     * Used to give each process/workload its own stream so that adding
+     * a component does not perturb the draws seen by the others.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_RANDOM_HH

@@ -1,0 +1,12 @@
+#include "sim/simulation.hh"
+
+namespace gpump {
+namespace sim {
+
+Simulation::Simulation(std::uint64_t seed, Config config)
+    : config_(std::move(config)), rng_(seed)
+{
+}
+
+} // namespace sim
+} // namespace gpump

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulation: the per-run context object.
+ *
+ * Bundles the event queue, root RNG, stat registry and configuration
+ * that every model component needs.  One Simulation corresponds to one
+ * independent experiment run (e.g. one workload under one policy);
+ * nothing is global, so runs can be constructed back to back without
+ * leaking state into each other.
+ */
+
+#ifndef GPUMP_SIM_SIMULATION_HH
+#define GPUMP_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace sim {
+
+/** Per-run simulation context. */
+class Simulation
+{
+  public:
+    /**
+     * @param seed  root RNG seed; pins every stochastic choice in
+     *              the run.
+     * @param config parameter overrides applied on top of model
+     *              defaults.
+     */
+    explicit Simulation(std::uint64_t seed = 1, Config config = Config());
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &events() { return events_; }
+    Rng &rng() { return rng_; }
+    StatRegistry &stats() { return stats_; }
+    Config &config() { return config_; }
+    const Config &config() const { return config_; }
+
+    /** Shorthand for events().now(). */
+    SimTime now() const { return events_.now(); }
+
+    /**
+     * Run the event loop until it drains or @p limit is reached.
+     * @return the simulated time afterwards.
+     */
+    SimTime run(SimTime limit = maxTime) { return events_.run(limit); }
+
+  private:
+    Config config_;
+    EventQueue events_;
+    Rng rng_;
+    StatRegistry stats_;
+};
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_SIMULATION_HH

@@ -1,0 +1,162 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace sim {
+
+Stat::Stat(StatRegistry &registry, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    registry.add(this);
+}
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    os << name() << " " << value_ << " # " << description() << "\n";
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    // Welford's online update.
+    double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    os << name() << ".count " << count_ << " # " << description() << "\n";
+    os << name() << ".mean " << mean() << "\n";
+    os << name() << ".stddev " << stddev() << "\n";
+    os << name() << ".min " << min() << "\n";
+    os << name() << ".max " << max() << "\n";
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+Histogram::Histogram(StatRegistry &registry, std::string name,
+                     std::string desc, double lo, double hi,
+                     std::size_t bins)
+    : Stat(registry, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    GPUMP_ASSERT(hi > lo, "histogram range is empty");
+    GPUMP_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+    auto idx = static_cast<std::size_t>((v - lo_) / width);
+    idx = std::min(idx, bins_.size() - 1);
+    ++bins_[idx];
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    os << name() << ".count " << count_ << " # " << description() << "\n";
+    os << name() << ".underflow " << underflow_ << "\n";
+    double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        os << name() << ".bin[" << lo_ + width * static_cast<double>(i)
+           << "," << lo_ + width * static_cast<double>(i + 1) << ") "
+           << bins_[i] << "\n";
+    }
+    os << name() << ".overflow " << overflow_ << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    count_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
+}
+
+void
+StatRegistry::add(Stat *stat)
+{
+    GPUMP_ASSERT(stat != nullptr, "null stat registered");
+    GPUMP_ASSERT(find(stat->name()) == nullptr,
+                 "duplicate stat name '%s'", stat->name().c_str());
+    stats_.push_back(stat);
+}
+
+void
+StatRegistry::remove(Stat *stat)
+{
+    stats_.erase(std::remove(stats_.begin(), stats_.end(), stat),
+                 stats_.end());
+}
+
+Stat *
+StatRegistry::find(const std::string &name) const
+{
+    for (Stat *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const Stat *s : stats_)
+        s->dump(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (Stat *s : stats_)
+        s->reset();
+}
+
+} // namespace sim
+} // namespace gpump

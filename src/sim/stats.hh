@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components declare named statistics against a StatRegistry; the
+ * harness dumps them as text or CSV at the end of a run.  Three stat
+ * kinds cover the simulator's needs:
+ *  - Scalar:       a single accumulating value (counts, sums);
+ *  - Distribution: streaming moments plus min/max (Welford);
+ *  - Histogram:    fixed-width bins with under/overflow.
+ */
+
+#ifndef GPUMP_SIM_STATS_HH
+#define GPUMP_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpump {
+namespace sim {
+
+class StatRegistry;
+
+/** Common base: every stat has a dotted path name and a description. */
+class Stat
+{
+  public:
+    Stat(StatRegistry &registry, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    /** Render this stat's value(s) into @p os, one line per value. */
+    virtual void dump(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single accumulating double. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Streaming sample statistics: count, sum, min, max, mean, stddev. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population standard deviation. */
+    double stddev() const;
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Fixed-width-bin histogram over [lo, hi) with under/overflow bins. */
+class Histogram : public Stat
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range.
+     * @param hi exclusive upper bound; must exceed @p lo.
+     * @param bins number of equal-width bins; must be positive.
+     */
+    Histogram(StatRegistry &registry, std::string name, std::string desc,
+              double lo, double hi, std::size_t bins);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Owner-registry of stats.  Stats register themselves at construction
+ * and must outlive the registry's dump calls; the registry does not
+ * own them (they are members of their components).
+ */
+class StatRegistry
+{
+  public:
+    /** Register @p stat; name collisions are a programming error. */
+    void add(Stat *stat);
+
+    /** Remove @p stat (called from Stat's owner on destruction). */
+    void remove(Stat *stat);
+
+    /** Look up a stat by full dotted name; nullptr if absent. */
+    Stat *find(const std::string &name) const;
+
+    /** All registered stats in registration order. */
+    const std::vector<Stat *> &all() const { return stats_; }
+
+    /** Dump every stat as "name value # description" text lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat. */
+    void resetAll();
+
+  private:
+    std::vector<Stat *> stats_;
+};
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_STATS_HH

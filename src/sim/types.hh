@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fundamental simulation types: time, identifiers and unit helpers.
+ *
+ * All simulated time is kept as a signed 64-bit count of nanoseconds.
+ * A signed representation makes interval arithmetic (deltas, slacks)
+ * safe, and 64-bit nanoseconds cover ~292 years of simulated time,
+ * far beyond any experiment in this repository.
+ */
+
+#ifndef GPUMP_SIM_TYPES_HH
+#define GPUMP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace gpump {
+namespace sim {
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::int64_t;
+
+/** Sentinel for "never" / unbounded horizons. */
+constexpr SimTime maxTime = std::numeric_limits<SimTime>::max();
+
+/** @name Unit constructors
+ *  Convert human-friendly units into SimTime nanoseconds.
+ *  Double-precision inputs are rounded to the nearest nanosecond.
+ *  @{
+ */
+constexpr SimTime
+nanoseconds(std::int64_t n)
+{
+    return n;
+}
+
+constexpr SimTime
+microseconds(double us)
+{
+    return static_cast<SimTime>(us * 1e3 + (us >= 0 ? 0.5 : -0.5));
+}
+
+constexpr SimTime
+milliseconds(double ms)
+{
+    return static_cast<SimTime>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+constexpr SimTime
+seconds(double s)
+{
+    return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+/** @} */
+
+/** @name Unit extractors
+ *  Convert SimTime back to floating-point human units.
+ *  @{
+ */
+constexpr double
+toMicroseconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+toMilliseconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+/** @} */
+
+/**
+ * Time needed to move @p bytes at @p bytes_per_second, rounded up to
+ * a whole nanosecond so that zero-cost transfers cannot be fabricated
+ * by rounding.
+ */
+constexpr SimTime
+transferTime(double bytes, double bytes_per_second)
+{
+    if (bytes <= 0.0)
+        return 0;
+    double ns = bytes / bytes_per_second * 1e9;
+    SimTime t = static_cast<SimTime>(ns);
+    return (static_cast<double>(t) < ns) ? t + 1 : t;
+}
+
+/** Identifier of a GPU context (one per process). */
+using ContextId = std::int32_t;
+
+/** Identifier of an SM inside the execution engine. */
+using SmId = std::int32_t;
+
+/** Index of a Kernel Status Register inside the KSRT. */
+using KsrIndex = std::int32_t;
+
+/** Identifier of a simulated process. */
+using ProcessId = std::int32_t;
+
+/** Invalid-value sentinels for the identifier types above. */
+constexpr ContextId invalidContext = -1;
+constexpr SmId invalidSm = -1;
+constexpr KsrIndex invalidKsr = -1;
+constexpr ProcessId invalidProcess = -1;
+
+} // namespace sim
+} // namespace gpump
+
+#endif // GPUMP_SIM_TYPES_HH

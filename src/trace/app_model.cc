@@ -1,0 +1,104 @@
+#include "trace/app_model.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace trace {
+
+const char *
+durationClassName(DurationClass c)
+{
+    switch (c) {
+      case DurationClass::Short: return "SHORT";
+      case DurationClass::Medium: return "MEDIUM";
+      case DurationClass::Long: return "LONG";
+    }
+    return "?";
+}
+
+int
+BenchmarkSpec::totalLaunches() const
+{
+    int n = 0;
+    for (const auto &op : ops) {
+        if (op.kind == TraceOp::Kind::KernelLaunch)
+            ++n;
+    }
+    return n;
+}
+
+std::int64_t
+BenchmarkSpec::bytesH2D() const
+{
+    std::int64_t n = 0;
+    for (const auto &op : ops) {
+        if (op.kind == TraceOp::Kind::MemcpyH2D)
+            n += op.bytes;
+    }
+    return n;
+}
+
+std::int64_t
+BenchmarkSpec::bytesD2H() const
+{
+    std::int64_t n = 0;
+    for (const auto &op : ops) {
+        if (op.kind == TraceOp::Kind::MemcpyD2H)
+            n += op.bytes;
+    }
+    return n;
+}
+
+sim::SimTime
+BenchmarkSpec::cpuTime() const
+{
+    sim::SimTime t = 0;
+    for (const auto &op : ops) {
+        if (op.kind == TraceOp::Kind::CpuPhase)
+            t += op.duration;
+    }
+    return t;
+}
+
+void
+BenchmarkSpec::validate() const
+{
+    std::vector<int> counts(kernels.size(), 0);
+    for (const auto &op : ops) {
+        switch (op.kind) {
+          case TraceOp::Kind::KernelLaunch:
+            if (op.kernelIndex < 0 ||
+                op.kernelIndex >= static_cast<int>(kernels.size())) {
+                sim::fatal("%s: launch references kernel index %d "
+                           "out of %zu kernels",
+                           name.c_str(), op.kernelIndex, kernels.size());
+            }
+            ++counts[static_cast<std::size_t>(op.kernelIndex)];
+            break;
+          case TraceOp::Kind::CpuPhase:
+            if (op.duration < 0)
+                sim::fatal("%s: negative CPU phase", name.c_str());
+            break;
+          case TraceOp::Kind::MemcpyH2D:
+          case TraceOp::Kind::MemcpyD2H:
+            if (op.bytes < 0)
+                sim::fatal("%s: negative transfer size", name.c_str());
+            break;
+          case TraceOp::Kind::DeviceSync:
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (counts[i] != kernels[i].launches) {
+            sim::fatal("%s: kernel %s launched %d times in trace but "
+                       "Table 1 says %d",
+                       name.c_str(), kernels[i].kernel.c_str(),
+                       counts[i], kernels[i].launches);
+        }
+    }
+}
+
+} // namespace trace
+} // namespace gpump

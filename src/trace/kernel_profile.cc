@@ -1,0 +1,11 @@
+#include "trace/kernel_profile.hh"
+
+// KernelProfile is a plain aggregate; this translation unit exists so
+// the library has a home for future out-of-line helpers and so the
+// header's self-containedness is compiler-checked.
+
+namespace gpump {
+namespace trace {
+
+} // namespace trace
+} // namespace gpump

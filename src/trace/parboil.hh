@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Parboil benchmark suite models used in the paper's evaluation.
+ *
+ * Ten of the eleven Parboil benchmarks (BFS excluded, as in the
+ * paper), with all 24 kernels of Table 1.  Kernel-side numbers
+ * (launch counts, grid sizes, per-TB durations, register/shared-memory
+ * footprints) are transcribed from Table 1.  Thread counts per block
+ * and the CPU/transfer phases are documented estimates (DESIGN.md,
+ * Section 1) chosen to reproduce the published occupancies and the
+ * Class 2 application-length grouping.
+ */
+
+#ifndef GPUMP_TRACE_PARBOIL_HH
+#define GPUMP_TRACE_PARBOIL_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/app_model.hh"
+
+namespace gpump {
+namespace trace {
+
+/**
+ * The full benchmark suite, in Table 1 order:
+ * lbm, histo, tpacf, spmv, mri-q, sad, sgemm, stencil, cutcp,
+ * mri-gridding.
+ *
+ * The vector is built once and cached; all specs pass validate().
+ */
+const std::vector<BenchmarkSpec> &parboilSuite();
+
+/** Look up a benchmark by name; raises fatal() when unknown. */
+const BenchmarkSpec &findBenchmark(const std::string &name);
+
+/** Flattened view of all 24 kernel profiles, in Table 1 order. */
+std::vector<const KernelProfile *> allKernelProfiles();
+
+} // namespace trace
+} // namespace gpump
+
+#endif // GPUMP_TRACE_PARBOIL_HH

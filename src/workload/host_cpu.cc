@@ -1,0 +1,61 @@
+#include "workload/host_cpu.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace gpump {
+namespace workload {
+
+CpuParams
+CpuParams::fromConfig(const sim::Config &cfg)
+{
+    CpuParams p;
+    p.cores = static_cast<int>(cfg.getInt("cpu.cores", p.cores));
+    p.threadsPerCore = static_cast<int>(
+        cfg.getInt("cpu.threads_per_core", p.threadsPerCore));
+    p.clockGhz = cfg.getDouble("cpu.clock_ghz", p.clockGhz);
+    p.modelContention =
+        cfg.getBool("cpu.model_contention", p.modelContention);
+    if (p.cores <= 0 || p.threadsPerCore <= 0)
+        sim::fatal("invalid CPU parameters");
+    return p;
+}
+
+HostCpu::HostCpu(sim::Simulation &sim, const CpuParams &params)
+    : params_(params),
+      phases_(sim.stats(), "cpu.phases", "CPU phases executed"),
+      oversubscribedPhases_(sim.stats(), "cpu.oversubscribed_phases",
+                            "phases started with more runnable threads "
+                            "than hardware threads")
+{
+}
+
+void
+HostCpu::beginPhase()
+{
+    ++running_;
+    ++phases_;
+    if (running_ > params_.hwThreads())
+        ++oversubscribedPhases_;
+}
+
+void
+HostCpu::endPhase()
+{
+    GPUMP_ASSERT(running_ > 0, "endPhase with no phase running");
+    --running_;
+}
+
+double
+HostCpu::slowdownFactor() const
+{
+    if (!params_.modelContention)
+        return 1.0;
+    int hw = params_.hwThreads();
+    if (running_ <= hw)
+        return 1.0;
+    return static_cast<double>(running_) / static_cast<double>(hw);
+}
+
+} // namespace workload
+} // namespace gpump

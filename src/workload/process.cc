@@ -1,0 +1,118 @@
+#include "workload/process.hh"
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace workload {
+
+Process::Process(sim::Simulation &sim, sim::ProcessId id,
+                 const trace::BenchmarkSpec *spec, int priority,
+                 HostCpu &cpu, gpu::GpuContext &ctx, gpu::Stream &stream,
+                 double launch_overhead_us)
+    : sim_(&sim), id_(id), spec_(spec), priority_(priority), cpu_(&cpu),
+      ctx_(&ctx), stream_(&stream),
+      launchOverhead_(sim::microseconds(launch_overhead_us))
+{
+    GPUMP_ASSERT(spec != nullptr, "process without a benchmark");
+    GPUMP_ASSERT(!spec->ops.empty(), "benchmark %s has an empty trace",
+                 spec->name.c_str());
+}
+
+void
+Process::start()
+{
+    runStart_ = sim_->now();
+    cursor_ = 0;
+    step();
+}
+
+double
+Process::meanTurnaroundUs() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += sim::toMicroseconds(r.turnaround());
+    return sum / static_cast<double>(records_.size());
+}
+
+void
+Process::opDone()
+{
+    ++cursor_;
+    step();
+}
+
+void
+Process::step()
+{
+    using Kind = trace::TraceOp::Kind;
+
+    while (cursor_ < spec_->ops.size()) {
+        const trace::TraceOp &op = spec_->ops[cursor_];
+        switch (op.kind) {
+          case Kind::CpuPhase: {
+            // Stretch under oversubscription, sampled at phase start
+            // (coarse-grained CPU model, Section 4.1).
+            auto duration = static_cast<sim::SimTime>(
+                static_cast<double>(op.duration) *
+                cpu_->slowdownFactor());
+            cpu_->beginPhase();
+            sim_->events().scheduleIn(duration, [this] {
+                cpu_->endPhase();
+                opDone();
+            });
+            return;
+          }
+          case Kind::KernelLaunch: {
+            auto cmd = gpu::Command::makeKernel(
+                ctx_->id(), priority_,
+                &spec_->kernels[static_cast<std::size_t>(op.kernelIndex)]);
+            stream_->enqueue(std::move(cmd));
+            // The launch API call costs a little host time.
+            sim_->events().scheduleIn(launchOverhead_,
+                                      [this] { opDone(); });
+            return;
+          }
+          case Kind::MemcpyH2D:
+          case Kind::MemcpyD2H: {
+            auto direction = op.kind == Kind::MemcpyH2D
+                ? gpu::Command::Kind::MemcpyH2D
+                : gpu::Command::Kind::MemcpyD2H;
+            auto cmd = gpu::Command::makeMemcpy(ctx_->id(), priority_,
+                                                direction, op.bytes);
+            if (op.synchronous) {
+                cmd->onComplete = [this] { opDone(); };
+                stream_->enqueue(std::move(cmd));
+                return; // blocked until the copy finishes
+            }
+            stream_->enqueue(std::move(cmd));
+            ++cursor_;
+            break; // asynchronous: fall through to the next op
+          }
+          case Kind::DeviceSync: {
+            if (ctx_->idle()) {
+                ++cursor_;
+                break;
+            }
+            ctx_->waitIdle([this] { opDone(); });
+            return;
+          }
+        }
+    }
+
+    // Trace exhausted: one execution completed.
+    records_.push_back(RunRecord{runStart_, sim_->now()});
+    if (onRunCompleted_)
+        onRunCompleted_(*this);
+
+    // Replay immediately (paper Section 4.1): the next execution's
+    // first CPU phase provides the natural inter-run gap.
+    runStart_ = sim_->now();
+    cursor_ = 0;
+    step();
+}
+
+} // namespace workload
+} // namespace gpump

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A simulated process replaying its application trace (Section 4.1).
+ *
+ * The process walks its BenchmarkSpec's TraceOps: CPU phases consume
+ * host time (stretched under CPU oversubscription), kernel launches
+ * and memcpys become GPU commands on the process's stream, blocking
+ * memcpys and device synchronisations wait for completions.  When the
+ * trace ends the execution is recorded and the process is replayed
+ * immediately, matching the paper's "replay until every benchmark
+ * completed at least 3 times" methodology.
+ */
+
+#ifndef GPUMP_WORKLOAD_PROCESS_HH
+#define GPUMP_WORKLOAD_PROCESS_HH
+
+#include <functional>
+#include <vector>
+
+#include "gpu/gpu_context.hh"
+#include "gpu/stream.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+#include "trace/app_model.hh"
+#include "workload/host_cpu.hh"
+
+namespace gpump {
+namespace workload {
+
+/** Timing record of one completed application execution. */
+struct RunRecord
+{
+    sim::SimTime start;
+    sim::SimTime end;
+
+    sim::SimTime turnaround() const { return end - start; }
+};
+
+/** One process of the multiprogrammed workload. */
+class Process
+{
+  public:
+    /**
+     * @param sim      simulation context.
+     * @param id       process id (also used in stats names).
+     * @param spec     the benchmark this process runs.
+     * @param priority process priority (priority schedulers).
+     * @param cpu      host CPU (phase accounting).
+     * @param ctx      this process's GPU context.
+     * @param stream   this process's stream.
+     * @param launch_overhead_us CPU cost of a kernel-launch API call.
+     */
+    Process(sim::Simulation &sim, sim::ProcessId id,
+            const trace::BenchmarkSpec *spec, int priority, HostCpu &cpu,
+            gpu::GpuContext &ctx, gpu::Stream &stream,
+            double launch_overhead_us);
+
+    sim::ProcessId id() const { return id_; }
+    const trace::BenchmarkSpec &spec() const { return *spec_; }
+    int priority() const { return priority_; }
+    gpu::GpuContext &context() { return *ctx_; }
+
+    /** Begin executing (first run starts now). */
+    void start();
+
+    /** Completed executions so far. */
+    int completedRuns() const
+    {
+        return static_cast<int>(records_.size());
+    }
+
+    /** Records of all completed executions. */
+    const std::vector<RunRecord> &records() const { return records_; }
+
+    /** Mean turnaround over completed executions (microseconds). */
+    double meanTurnaroundUs() const;
+
+    /** Invoked after each completed execution. */
+    void setOnRunCompleted(std::function<void(Process &)> cb)
+    {
+        onRunCompleted_ = std::move(cb);
+    }
+
+  private:
+    void step();
+    void opDone();
+
+    sim::Simulation *sim_;
+    sim::ProcessId id_;
+    const trace::BenchmarkSpec *spec_;
+    int priority_;
+    HostCpu *cpu_;
+    gpu::GpuContext *ctx_;
+    gpu::Stream *stream_;
+    sim::SimTime launchOverhead_;
+
+    std::size_t cursor_ = 0;
+    sim::SimTime runStart_ = 0;
+    std::vector<RunRecord> records_;
+    std::function<void(Process &)> onRunCompleted_;
+};
+
+} // namespace workload
+} // namespace gpump
+
+#endif // GPUMP_WORKLOAD_PROCESS_HH

@@ -1,0 +1,165 @@
+#include "workload/system.hh"
+
+#include "sim/logging.hh"
+#include "trace/parboil.hh"
+
+namespace gpump {
+namespace workload {
+
+System::System(const SystemSpec &spec, const sim::Config &overrides)
+    : spec_(spec)
+{
+    // Resolve the per-process application specs up front.
+    std::vector<const trace::BenchmarkSpec *> apps;
+    if (!spec_.customSpecs.empty()) {
+        if (!spec_.benchmarks.empty())
+            sim::fatal("give either benchmark names or custom specs, "
+                       "not both");
+        for (const trace::BenchmarkSpec *s : spec_.customSpecs) {
+            if (s == nullptr)
+                sim::fatal("null custom benchmark spec");
+            s->validate();
+            apps.push_back(s);
+        }
+    } else {
+        for (const auto &name : spec_.benchmarks)
+            apps.push_back(&trace::findBenchmark(name));
+    }
+    if (apps.empty())
+        sim::fatal("system with no processes");
+    if (!spec_.priorities.empty() &&
+        spec_.priorities.size() != apps.size()) {
+        sim::fatal("priorities/processes size mismatch (%zu vs %zu)",
+                   spec_.priorities.size(), apps.size());
+    }
+    if (spec_.minReplays < 1)
+        sim::fatal("minReplays must be at least 1");
+
+    sim_ = std::make_unique<sim::Simulation>(spec_.seed, overrides);
+    const sim::Config &cfg = sim_->config();
+
+    gpuParams_ = gpu::GpuParams::fromConfig(cfg);
+    gmem_ = std::make_unique<memory::GpuMemory>(
+        sim_->stats(), memory::GpuMemoryParams::fromConfig(cfg));
+    frames_ = std::make_unique<memory::FrameAllocator>(
+        static_cast<std::uint64_t>(gmem_->params().capacity) /
+        memory::gpuPageBytes);
+    pcie_ = std::make_unique<memory::PcieBus>(
+        sim_->stats(), memory::PcieParams::fromConfig(cfg));
+
+    transferEngine_ = std::make_unique<gpu::TransferEngine>(
+        *sim_, *pcie_,
+        gpu::TransferEngine::policyFromName(spec_.transferPolicy));
+    dispatcher_ = std::make_unique<gpu::Dispatcher>(*sim_,
+                                                    *transferEngine_);
+    transferEngine_->setCompletionNotifier(
+        [this](gpu::CommandQueue *q) {
+            dispatcher_->onCommandCompleted(q);
+        });
+
+    framework_ = std::make_unique<core::SchedulingFramework>(
+        *sim_, gpuParams_, *gmem_, *dispatcher_);
+    framework_->setMechanism(core::makeMechanism(spec_.mechanism));
+
+    // DSS equal sharing (Section 4.4): tc = floor(NSMs / Nprocs) per
+    // kernel and the remainder as bonus tokens, unless the caller
+    // overrode the token budget explicitly.
+    sim::Config policy_cfg = cfg;
+    if (spec_.policy == "dss" && !cfg.has("dss.tokens_per_kernel")) {
+        int np = static_cast<int>(apps.size());
+        policy_cfg.set("dss.tokens_per_kernel",
+                       static_cast<std::int64_t>(gpuParams_.numSms / np));
+        policy_cfg.set("dss.bonus_tokens",
+                       static_cast<std::int64_t>(gpuParams_.numSms % np));
+    }
+    framework_->setPolicy(core::makePolicy(spec_.policy, policy_cfg));
+
+    hostCpu_ = std::make_unique<HostCpu>(*sim_,
+                                         CpuParams::fromConfig(cfg));
+
+    double launch_overhead_us =
+        cfg.getDouble("cpu.kernel_launch_overhead_us", 3.0);
+    std::int64_t scratch_bytes =
+        cfg.getInt("process.scratch_bytes", 32ll * 1024 * 1024);
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const trace::BenchmarkSpec &bench = *apps[i];
+        int priority =
+            spec_.priorities.empty() ? 0 : spec_.priorities[i];
+
+        auto ctx = std::make_unique<gpu::GpuContext>(
+            static_cast<sim::ContextId>(i),
+            static_cast<sim::ProcessId>(i), priority, *frames_);
+
+        // The process's device footprint: inputs, outputs and scratch
+        // all live in GPU memory for the process's lifetime (no
+        // demand paging on this hardware, Section 2.2).
+        std::int64_t footprint =
+            bench.bytesH2D() + bench.bytesD2H() + scratch_bytes;
+        gmem_->allocate(ctx->id(), footprint);
+        if (!ctx->pageTable().map(0, static_cast<std::uint64_t>(footprint)))
+            sim::fatal("out of GPU page frames for process %zu", i);
+
+        gpu::CommandQueue *queue = dispatcher_->createQueue(
+            ctx->id(), gpuParams_.numHwQueues);
+        auto stream = std::make_unique<gpu::Stream>(
+            *sim_, *ctx, *dispatcher_, queue,
+            gpuParams_.commandSubmitLatency);
+        auto process = std::make_unique<Process>(
+            *sim_, static_cast<sim::ProcessId>(i), &bench, priority,
+            *hostCpu_, *ctx, *stream, launch_overhead_us);
+
+        contexts_.push_back(std::move(ctx));
+        streams_.push_back(std::move(stream));
+        processes_.push_back(std::move(process));
+    }
+}
+
+SystemResult
+System::run(sim::SimTime limit)
+{
+    stillRunning_ = numProcesses();
+    done_ = numProcesses() == 0;
+
+    for (auto &p : processes_) {
+        Process *proc = p.get();
+        proc->setOnRunCompleted([this](Process &q) {
+            if (q.completedRuns() == spec_.minReplays) {
+                if (--stillRunning_ == 0)
+                    done_ = true;
+            }
+        });
+        // All processes start at t=0, co-scheduled (Section 4.1).
+        sim_->events().schedule(0, [proc] { proc->start(); });
+    }
+
+    while (!done_) {
+        if (!sim_->events().step()) {
+            sim::fatal("simulation deadlocked: event queue empty with "
+                       "%d process(es) incomplete",
+                       stillRunning_);
+        }
+        if (sim_->now() > limit) {
+            sim::fatal("simulation exceeded its horizon (%lld ns) with "
+                       "%d process(es) incomplete; a kernel may be "
+                       "unpreemptible under the configured mechanism",
+                       static_cast<long long>(limit), stillRunning_);
+        }
+    }
+
+    SystemResult result;
+    result.endTime = sim_->now();
+    result.eventsExecuted = sim_->events().executed();
+    result.kernelsCompleted = framework_->kernelsCompleted();
+    result.preemptions = framework_->preemptions();
+    result.contextBytesSaved = framework_->contextBytesSaved();
+    result.maxPtbqDepth = framework_->maxPtbqDepth();
+    for (auto &p : processes_) {
+        result.runs.push_back(p->records());
+        result.meanTurnaroundUs.push_back(p->meanTurnaroundUs());
+    }
+    return result;
+}
+
+} // namespace workload
+} // namespace gpump

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * System: one fully assembled simulated machine.
+ *
+ * Builds the evaluation platform of Section 4.1 — a multicore CPU
+ * attached to a discrete GK110-like GPU over PCIe — around a workload
+ * of processes, a scheduling policy and a preemption mechanism, and
+ * runs it until every process has completed the required number of
+ * executions (Section 4.1's replay methodology).
+ */
+
+#ifndef GPUMP_WORKLOAD_SYSTEM_HH
+#define GPUMP_WORKLOAD_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "core/policy.hh"
+#include "core/preemption.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/gpu_context.hh"
+#include "gpu/stream.hh"
+#include "gpu/transfer_engine.hh"
+#include "memory/gpu_memory.hh"
+#include "memory/page_table.hh"
+#include "memory/pcie.hh"
+#include "sim/simulation.hh"
+#include "trace/app_model.hh"
+#include "workload/host_cpu.hh"
+#include "workload/process.hh"
+
+namespace gpump {
+namespace workload {
+
+/** Everything needed to instantiate one simulation run. */
+struct SystemSpec
+{
+    /** Benchmark names, one per process (see trace::parboilSuite). */
+    std::vector<std::string> benchmarks;
+    /** Custom application specs, one per process.  When non-empty it
+     *  replaces `benchmarks`; the pointed-to specs must outlive the
+     *  System.  Lets applications not in the built-in suite (user
+     *  workloads, synthetic kernels) run through the same machinery. */
+    std::vector<const trace::BenchmarkSpec *> customSpecs;
+    /** Per-process priorities; empty = all zero.  Higher wins. */
+    std::vector<int> priorities;
+    /** Kernel scheduling policy (core::makePolicy names). */
+    std::string policy = "fcfs";
+    /** Preemption mechanism (core::makeMechanism names). */
+    std::string mechanism = "context_switch";
+    /** Transfer engine policy: "fcfs" or "priority". */
+    std::string transferPolicy = "fcfs";
+    /** Root RNG seed. */
+    std::uint64_t seed = 1;
+    /** Executions each process must complete before the run ends. */
+    int minReplays = 3;
+};
+
+/** Outcome of one run. */
+struct SystemResult
+{
+    /** Per-process completed-execution records. */
+    std::vector<std::vector<RunRecord>> runs;
+    /** Per-process mean turnaround (us) over completed executions. */
+    std::vector<double> meanTurnaroundUs;
+    /** Simulated time when the stop condition was met. */
+    sim::SimTime endTime = 0;
+    /** Events executed (simulator effort). */
+    std::uint64_t eventsExecuted = 0;
+    /** Engine counters for overhead analyses. */
+    std::uint64_t kernelsCompleted = 0;
+    std::uint64_t preemptions = 0;
+    double contextBytesSaved = 0.0;
+    /** Deepest PTBQ seen (context-switch mechanism sizing). */
+    double maxPtbqDepth = 0.0;
+};
+
+/** One assembled machine + workload. */
+class System
+{
+  public:
+    /**
+     * @param spec      workload and scheme description.
+     * @param overrides config overrides applied to every component.
+     */
+    explicit System(const SystemSpec &spec,
+                    const sim::Config &overrides = sim::Config());
+
+    sim::Simulation &sim() { return *sim_; }
+    core::SchedulingFramework &framework() { return *framework_; }
+    gpu::TransferEngine &transferEngine() { return *transferEngine_; }
+    HostCpu &hostCpu() { return *hostCpu_; }
+    const gpu::GpuParams &gpuParams() const { return gpuParams_; }
+
+    int numProcesses() const
+    {
+        return static_cast<int>(processes_.size());
+    }
+    Process &process(int i)
+    {
+        return *processes_[static_cast<std::size_t>(i)];
+    }
+
+    /**
+     * Run until every process completed spec.minReplays executions.
+     *
+     * @param limit safety horizon; exceeding it raises fatal() (it
+     *        means a livelocked schedule, e.g. draining a persistent
+     *        kernel).
+     */
+    SystemResult run(sim::SimTime limit = sim::maxTime);
+
+  private:
+    SystemSpec spec_;
+    std::unique_ptr<sim::Simulation> sim_;
+    gpu::GpuParams gpuParams_;
+    std::unique_ptr<memory::GpuMemory> gmem_;
+    std::unique_ptr<memory::FrameAllocator> frames_;
+    std::unique_ptr<memory::PcieBus> pcie_;
+    std::unique_ptr<gpu::TransferEngine> transferEngine_;
+    std::unique_ptr<gpu::Dispatcher> dispatcher_;
+    std::unique_ptr<core::SchedulingFramework> framework_;
+    std::unique_ptr<HostCpu> hostCpu_;
+    std::vector<std::unique_ptr<gpu::GpuContext>> contexts_;
+    std::vector<std::unique_ptr<gpu::Stream>> streams_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    int stillRunning_ = 0;
+    bool done_ = false;
+};
+
+} // namespace workload
+} // namespace gpump
+
+#endif // GPUMP_WORKLOAD_SYSTEM_HH

@@ -1,0 +1,96 @@
+/** Unit tests for the configuration store. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+using namespace gpump;
+using sim::Config;
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getString("k", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(c.getDouble("k", 2.5), 2.5);
+    EXPECT_EQ(c.getInt("k", 7), 7);
+    EXPECT_TRUE(c.getBool("k", true));
+    EXPECT_FALSE(c.has("k"));
+}
+
+TEST(Config, TypedRoundTrips)
+{
+    Config c;
+    c.set("s", std::string("hello"));
+    c.set("d", 3.25);
+    c.set("i", static_cast<std::int64_t>(-42));
+    c.set("b", true);
+    EXPECT_EQ(c.getString("s", ""), "hello");
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0), 3.25);
+    EXPECT_EQ(c.getInt("i", 0), -42);
+    EXPECT_TRUE(c.getBool("b", false));
+}
+
+TEST(Config, ParseTokens)
+{
+    Config c;
+    EXPECT_TRUE(c.parse("gpu.num_sms=13"));
+    EXPECT_EQ(c.getInt("gpu.num_sms", 0), 13);
+    EXPECT_FALSE(c.parse("no-equals"));
+    EXPECT_FALSE(c.parse("=value"));
+    // Value may itself contain '='.
+    EXPECT_TRUE(c.parse("expr=a=b"));
+    EXPECT_EQ(c.getString("expr", ""), "a=b");
+}
+
+TEST(Config, ParseAllRejectsMalformed)
+{
+    Config c;
+    EXPECT_THROW(c.parseAll({"good=1", "bad"}), sim::FatalError);
+}
+
+TEST(Config, ConversionErrorsAreFatal)
+{
+    Config c;
+    c.set("x", std::string("not-a-number"));
+    EXPECT_THROW(c.getDouble("x", 0), sim::FatalError);
+    EXPECT_THROW(c.getInt("x", 0), sim::FatalError);
+    EXPECT_THROW(c.getBool("x", false), sim::FatalError);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("b", std::string(t));
+        EXPECT_TRUE(c.getBool("b", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("b", std::string(f));
+        EXPECT_FALSE(c.getBool("b", true)) << f;
+    }
+}
+
+TEST(Config, IntParsesHex)
+{
+    Config c;
+    c.set("h", std::string("0x10"));
+    EXPECT_EQ(c.getInt("h", 0), 16);
+}
+
+TEST(Config, KeysSortedAndDump)
+{
+    Config c;
+    c.set("zeta", static_cast<std::int64_t>(1));
+    c.set("alpha", static_cast<std::int64_t>(2));
+    auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+
+    std::ostringstream os;
+    c.dump(os);
+    EXPECT_EQ(os.str(), "alpha = 2\nzeta = 1\n");
+}

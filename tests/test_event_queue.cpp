@@ -1,0 +1,176 @@
+/** Unit tests for the discrete-event core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/logging.hh"
+
+using namespace gpump;
+using sim::EventQueue;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTimeOrderedByPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(3); }, sim::prioDefault);
+    q.schedule(5, [&] { order.push_back(1); }, sim::prioCompletion);
+    q.schedule(5, [&] { order.push_back(4); }, sim::prioDefault);
+    q.schedule(5, [&] { order.push_back(2); }, sim::prioDriver);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution)
+{
+    EventQueue q;
+    sim::SimTime seen = -1;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(5, [] {}), sim::PanicError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto h = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    EXPECT_TRUE(h.cancel());
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel()) << "double cancel must report failure";
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelMaintainsPendingCount)
+{
+    EventQueue q;
+    auto h1 = q.schedule(10, [] {});
+    auto h2 = q.schedule(20, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    h1.cancel();
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+    (void)h2;
+}
+
+TEST(EventQueue, CancelledHeadDoesNotAdvanceTime)
+{
+    EventQueue q;
+    auto h = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    h.cancel();
+    q.run();
+    EXPECT_EQ(q.now(), 20);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    q.run(20);
+    EXPECT_EQ(count, 2) << "events at the limit must run";
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<sim::SimTime> times;
+    q.schedule(10, [&] {
+        times.push_back(q.now());
+        q.scheduleIn(5, [&] { times.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(times, (std::vector<sim::SimTime>{10, 15}));
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    sim::SimTime fired = 0;
+    q.scheduleIn(7, [&] { fired = q.now(); });
+    q.run();
+    EXPECT_EQ(fired, 107);
+}
+
+TEST(EventQueue, HandleOutlivesExecution)
+{
+    EventQueue q;
+    auto h = q.schedule(1, [] {});
+    q.run();
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    sim::SimTime last = -1;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        // Deterministic scattered times with collisions.
+        sim::SimTime t = (i * 7919) % 1000;
+        q.schedule(t, [&, t] {
+            if (q.now() < last)
+                monotone = false;
+            last = q.now();
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(q.executed(), 10000u);
+}
+
+TEST(EventQueue, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventQueue::Callback()), sim::PanicError);
+}
+
+TEST(EventQueue, NegativeDelayPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.scheduleIn(-1, [] {}), sim::PanicError);
+}

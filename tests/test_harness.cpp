@@ -1,0 +1,132 @@
+/** Tests of the experiment harness, argument parsing and reporting. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/args.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+using namespace gpump;
+using namespace gpump::harness;
+
+TEST(Args, SplitsFlagsAndConfig)
+{
+    const char *argv[] = {"prog", "--workloads=20", "--csv",
+                          "gpu.num_sms=8", "dss.retarget=false"};
+    Args args(5, const_cast<char **>(argv));
+    EXPECT_EQ(args.flagInt("workloads", 5), 20);
+    EXPECT_TRUE(args.hasFlag("csv"));
+    EXPECT_EQ(args.flag("csv", ""), "true");
+    EXPECT_FALSE(args.hasFlag("missing"));
+    EXPECT_EQ(args.config().getInt("gpu.num_sms", 13), 8);
+    EXPECT_FALSE(args.config().getBool("dss.retarget", true));
+}
+
+TEST(Args, MalformedTokenIsFatal)
+{
+    const char *argv[] = {"prog", "oops"};
+    EXPECT_THROW(Args(2, const_cast<char **>(argv)), sim::FatalError);
+}
+
+TEST(Args, FlagTypeValidation)
+{
+    const char *argv[] = {"prog", "--n=abc"};
+    Args args(2, const_cast<char **>(argv));
+    EXPECT_THROW(args.flagInt("n", 0), sim::FatalError);
+    EXPECT_THROW(args.flagDouble("n", 0), sim::FatalError);
+}
+
+TEST(Report, TableAlignsAndCsvEscapesNothing)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"beta-long-name", "2.50"});
+    EXPECT_EQ(t.rows(), 3u);
+
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta-long-name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1\nbeta-long-name,2.50\n");
+}
+
+TEST(Report, RowArityChecked)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), sim::PanicError);
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmtTimes(2.5), "2.50x");
+}
+
+TEST(Experiment, IsolatedTimesCachedAndPositive)
+{
+    Experiment exp;
+    exp.setMinReplays(1);
+    double t1 = exp.isolatedTimeUs("sgemm");
+    double t2 = exp.isolatedTimeUs("sgemm");
+    EXPECT_GT(t1, 0.0);
+    EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Experiment, SchemeLabels)
+{
+    Scheme s;
+    s.policy = "fcfs";
+    EXPECT_EQ(s.label(), "fcfs");
+    s.policy = "dss";
+    s.mechanism = "draining";
+    EXPECT_EQ(s.label(), "dss/draining");
+}
+
+TEST(Experiment, RunProducesConsistentMetrics)
+{
+    Experiment exp;
+    exp.setMinReplays(2);
+
+    workload::WorkloadPlan plan;
+    plan.benchmarks = {"sgemm", "spmv"};
+    plan.seed = 7;
+
+    Scheme scheme;
+    scheme.policy = "dss";
+    auto result = exp.run(plan, scheme);
+
+    ASSERT_EQ(result.metrics.ntt.size(), 2u);
+    for (double ntt : result.metrics.ntt)
+        EXPECT_GT(ntt, 0.9);
+    EXPECT_GT(result.metrics.stp, 0.0);
+    EXPECT_LE(result.metrics.stp, 2.0 + 1e-9);
+    EXPECT_GE(result.metrics.fairness, 0.0);
+    EXPECT_LE(result.metrics.fairness, 1.0);
+    EXPECT_GT(result.kernelsCompleted, 0u);
+}
+
+TEST(Experiment, ConfigOverridesReachSimulation)
+{
+    // Shrinking the GPU must slow the isolated run down.
+    Experiment big;
+    big.setMinReplays(1);
+    double t13 = big.isolatedTimeUs("sgemm");
+
+    sim::Config small_cfg;
+    small_cfg.set("gpu.num_sms", static_cast<std::int64_t>(2));
+    Experiment small(small_cfg);
+    small.setMinReplays(1);
+    double t2 = small.isolatedTimeUs("sgemm");
+
+    EXPECT_GT(t2, t13);
+}

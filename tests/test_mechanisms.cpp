@@ -1,0 +1,218 @@
+/**
+ * Tests of the two preemption mechanisms (Section 3.2): latency
+ * models, state handling and the PTBQ round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "tests/test_util.hh"
+
+using namespace gpump;
+using test::DeviceRig;
+
+namespace {
+
+/**
+ * Launch a long low-priority kernel, let it occupy the engine, then
+ * launch a high-priority kernel under PPQ to force preemption of all
+ * SMs.  Returns the observed per-SM preemption latencies.
+ */
+struct PreemptionProbe : core::EngineObserver
+{
+    sim::Simulation *sim = nullptr;
+    sim::SimTime requestAt = -1;
+    std::vector<sim::SimTime> latencies;
+
+    void preemptionRequested(const gpu::Sm &, const gpu::KernelExec &,
+                             const gpu::KernelExec &) override
+    {
+        if (requestAt < 0)
+            requestAt = sim->now();
+    }
+    void preemptionCompleted(const gpu::Sm &) override
+    {
+        latencies.push_back(sim->now() - requestAt);
+    }
+};
+
+} // namespace
+
+TEST(ContextSwitch, SaveLatencyMatchesContextSize)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    PreemptionProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+
+    // lo: occupancy 4 (512 threads/TB), 16 KiB of regs per TB ->
+    // context = 4 TBs * 4096 regs * 4 B = 64 KiB per SM.
+    auto lo = test::makeProfile("lo", 2000, 1000.0, 4096, 0, 512);
+    auto hi = test::makeProfile("hi", 13, 1.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(100.0));
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run();
+
+    ASSERT_FALSE(probe.latencies.empty());
+    // Expected: pipeline drain (0.5 us) + 65536 B / 16 GB/s = 4.096 us.
+    sim::SimTime expected = rig.params.pipelineDrainLatency +
+        rig.gmem.moveTime(4 * 4096 * 4, rig.params.numSms);
+    for (sim::SimTime lat : probe.latencies)
+        EXPECT_EQ(lat, expected);
+}
+
+TEST(ContextSwitch, SavedBytesAccounted)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    auto lo = test::makeProfile("lo", 2000, 1000.0, 4096, 256, 512);
+    // hi at occupancy 1 (2048 threads/TB) with 13 TBs needs all SMs.
+    auto hi = test::makeProfile("hi", 13, 1.0, 4096, 0, 2048);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(100.0));
+    ASSERT_EQ(rig.framework.preemptions(), 0u);
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run();
+
+    EXPECT_EQ(rig.framework.preemptions(), 13u)
+        << "PPQ must preempt every SM of the low-priority kernel";
+    // 13 SMs x 4 TBs x (4*4096 + 256) B.
+    EXPECT_DOUBLE_EQ(rig.framework.contextBytesSaved(),
+                     13.0 * 4.0 * (4.0 * 4096.0 + 256.0));
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 2u);
+}
+
+TEST(ContextSwitch, PreemptedWorkResumesAndCompletes)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    auto lo = test::makeProfile("lo", 100, 200.0);
+    auto hi = test::makeProfile("hi", 26, 50.0);
+    bool lo_done = false;
+    auto lo_cmd = gpu::Command::makeKernel(0, 0, &lo);
+    lo_cmd->onComplete = [&] { lo_done = true; };
+    rig.dispatcher.enqueue(rig.queueFor(0), lo_cmd);
+    rig.run(sim::microseconds(50.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+    EXPECT_TRUE(lo_done);
+    EXPECT_EQ(rig.framework.tbsCompleted(), 126u)
+        << "every preempted TB must eventually complete exactly once";
+}
+
+TEST(ContextSwitch, RemainingWorkIsPreservedNotRestarted)
+{
+    // A TB preempted near its end must finish after (restore +
+    // remainder), not after a full re-execution.
+    DeviceRig rig("ppq_excl", "context_switch");
+    // One TB per SM (threads 2048): 13 TBs of 100 us.
+    auto lo = test::makeProfile("lo", 13, 100.0, 4096, 0, 2048);
+    auto hi = test::makeProfile("hi", 13, 1.0, 4096, 0, 2048);
+
+    sim::SimTime lo_end = -1;
+    auto lo_cmd = gpu::Command::makeKernel(0, 0, &lo);
+    lo_cmd->onComplete = [&] { lo_end = rig.sim.now(); };
+    rig.dispatcher.enqueue(rig.queueFor(0), lo_cmd);
+    // Preempt at t=80us: 20us of work remains per TB.
+    rig.run(sim::microseconds(80.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+
+    ASSERT_GT(lo_end, 0);
+    // Generous upper bound: far below a full 100 us re-execution on
+    // top of the preemption round trip.
+    EXPECT_LT(lo_end, sim::microseconds(80.0 + 1.0 + 10.0 + 2.0 + 5.0 +
+                                        20.0 + 30.0))
+        << "preempted TBs appear to restart from scratch";
+}
+
+TEST(Draining, LatencyBoundedByResidentRemainder)
+{
+    DeviceRig rig("ppq_excl", "draining");
+    PreemptionProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+
+    auto lo = test::makeProfile("lo", 2000, 50.0);
+    auto hi = test::makeProfile("hi", 13, 1.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(10.0));
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run();
+
+    ASSERT_FALSE(probe.latencies.empty());
+    for (sim::SimTime lat : probe.latencies) {
+        EXPECT_LE(lat, sim::microseconds(50.0))
+            << "drain cannot exceed the longest resident TB remainder";
+        EXPECT_GT(lat, 0);
+    }
+}
+
+TEST(Draining, NoContextTrafficAndNoPtbq)
+{
+    DeviceRig rig("ppq_excl", "draining");
+    auto lo = test::makeProfile("lo", 2000, 50.0);
+    auto hi = test::makeProfile("hi", 13, 1.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(10.0));
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run(sim::microseconds(200.0));
+
+    EXPECT_GT(rig.framework.preemptions(), 0u);
+    EXPECT_DOUBLE_EQ(rig.framework.contextBytesSaved(), 0.0)
+        << "draining must not move any context bytes";
+    rig.run();
+}
+
+TEST(Draining, DrainedTbsRunExactlyOnce)
+{
+    DeviceRig rig("ppq_excl", "draining");
+    auto lo = test::makeProfile("lo", 100, 60.0);
+    auto hi = test::makeProfile("hi", 26, 20.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(30.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+    EXPECT_EQ(rig.framework.tbsCompleted(), 126u);
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 2u);
+}
+
+TEST(Mechanisms, FactoryNamesAndAliases)
+{
+    EXPECT_STREQ(core::makeMechanism("context_switch")->name(),
+                 "context_switch");
+    EXPECT_STREQ(core::makeMechanism("cs")->name(), "context_switch");
+    EXPECT_STREQ(core::makeMechanism("draining")->name(), "draining");
+    EXPECT_STREQ(core::makeMechanism("drain")->name(), "draining");
+    EXPECT_THROW(core::makeMechanism("bogus"), sim::FatalError);
+    EXPECT_TRUE(core::makeMechanism("cs")->savesContext());
+    EXPECT_FALSE(core::makeMechanism("draining")->savesContext());
+}
+
+TEST(Mechanisms, ContextSwitchBeatsDrainingForLongTbs)
+{
+    // The paper's central comparison: for kernels with long thread
+    // blocks, context switch preempts faster than draining.
+    auto run_with = [](const std::string &mech) {
+        DeviceRig rig("ppq_excl", mech);
+        PreemptionProbe probe;
+        probe.sim = &rig.sim;
+        rig.framework.setObserver(&probe);
+        // sgemm-like: 98.56 us TBs, low register use.
+        auto lo = test::makeProfile("lo", 2000, 98.56, 4480, 512, 128);
+        auto hi = test::makeProfile("hi", 13, 1.0);
+        rig.launch(rig.queueFor(0), &lo, 0);
+        rig.run(sim::microseconds(5.0));
+        rig.launch(rig.queueFor(1), &hi, 9);
+        rig.run(sim::milliseconds(5.0));
+        double sum = 0;
+        for (auto l : probe.latencies)
+            sum += static_cast<double>(l);
+        return probe.latencies.empty()
+            ? 1e18
+            : sum / static_cast<double>(probe.latencies.size());
+    };
+    double cs = run_with("context_switch");
+    double drain = run_with("draining");
+    EXPECT_LT(cs, drain)
+        << "context switch must preempt long-TB kernels faster";
+}

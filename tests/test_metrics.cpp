@@ -1,0 +1,82 @@
+/** Unit tests for the Eyerman-Eeckhout metric calculations. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hh"
+#include "sim/logging.hh"
+
+using namespace gpump;
+using namespace gpump::metrics;
+
+TEST(Metrics, SingleProcessBaseline)
+{
+    auto m = computeMetrics({100.0}, {100.0});
+    ASSERT_EQ(m.ntt.size(), 1u);
+    EXPECT_DOUBLE_EQ(m.ntt[0], 1.0);
+    EXPECT_DOUBLE_EQ(m.antt, 1.0);
+    EXPECT_DOUBLE_EQ(m.stp, 1.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 1.0);
+}
+
+TEST(Metrics, KnownTwoProcessCase)
+{
+    // P0 slowed 2x, P1 slowed 4x.
+    auto m = computeMetrics({100.0, 50.0}, {200.0, 200.0});
+    EXPECT_DOUBLE_EQ(m.ntt[0], 2.0);
+    EXPECT_DOUBLE_EQ(m.ntt[1], 4.0);
+    EXPECT_DOUBLE_EQ(m.antt, 3.0);
+    EXPECT_DOUBLE_EQ(m.stp, 0.5 + 0.25);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.5);
+}
+
+TEST(Metrics, PerfectSharingOfNProcesses)
+{
+    // n processes each slowed exactly n times: STP stays 1 (the
+    // machine does one process-worth of work per unit time), ANTT =
+    // n, fairness = 1.
+    const int n = 4;
+    std::vector<double> iso(n, 10.0), multi(n, 40.0);
+    auto m = computeMetrics(iso, multi);
+    EXPECT_DOUBLE_EQ(m.antt, 4.0);
+    EXPECT_DOUBLE_EQ(m.stp, 1.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 1.0);
+}
+
+TEST(Metrics, StpBoundedByProcessCount)
+{
+    // Even with no slowdown at all, STP cannot exceed n.
+    auto m = computeMetrics({10.0, 20.0, 30.0}, {10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(m.stp, 3.0);
+    EXPECT_DOUBLE_EQ(m.antt, 1.0);
+}
+
+TEST(Metrics, FairnessApproachesZeroUnderStarvation)
+{
+    auto m = computeMetrics({10.0, 10.0}, {10.0, 1e7});
+    EXPECT_LT(m.fairness, 1e-5);
+    EXPECT_GT(m.fairness, 0.0);
+}
+
+TEST(Metrics, FairnessIsMinOverMaxOfSlowdowns)
+{
+    auto m = computeMetrics({10.0, 10.0, 10.0}, {20.0, 30.0, 60.0});
+    // slowdowns 2, 3, 6 -> min/max = 1/3.
+    EXPECT_NEAR(m.fairness, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, ValidationErrors)
+{
+    EXPECT_THROW(computeMetrics({1.0}, {1.0, 2.0}), sim::FatalError);
+    EXPECT_THROW(computeMetrics({}, {}), sim::FatalError);
+    EXPECT_THROW(computeMetrics({0.0}, {1.0}), sim::FatalError);
+    EXPECT_THROW(computeMetrics({1.0}, {-1.0}), sim::FatalError);
+}
+
+TEST(Metrics, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_THROW(mean({}), sim::PanicError);
+    EXPECT_THROW(geomean({0.0}), sim::PanicError);
+}

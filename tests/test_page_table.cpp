@@ -1,0 +1,153 @@
+/** Unit tests for page tables and the per-SM TLB. */
+
+#include <gtest/gtest.h>
+
+#include "memory/page_table.hh"
+#include "sim/logging.hh"
+
+using namespace gpump;
+using namespace gpump::memory;
+
+TEST(FrameAllocator, HandsOutDistinctFrames)
+{
+    FrameAllocator fa(4);
+    EXPECT_EQ(fa.totalFrames(), 4u);
+    auto a = fa.allocate();
+    auto b = fa.allocate();
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(fa.freeFrames(), 2u);
+}
+
+TEST(FrameAllocator, ExhaustionAndRecycling)
+{
+    FrameAllocator fa(2);
+    auto a = fa.allocate();
+    auto b = fa.allocate();
+    EXPECT_FALSE(fa.allocate().has_value());
+    fa.release(*a);
+    auto c = fa.allocate();
+    ASSERT_TRUE(c);
+    EXPECT_EQ(*c, *a);
+    (void)b;
+}
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(0, 3 * gpuPageBytes));
+    EXPECT_EQ(pt.mappedPages(), 3u);
+
+    auto t0 = pt.translate(100);
+    auto t1 = pt.translate(gpuPageBytes + 5);
+    ASSERT_TRUE(t0 && t1);
+    EXPECT_EQ(*t0 % gpuPageBytes, 100u);
+    EXPECT_EQ(*t1 % gpuPageBytes, 5u);
+
+    EXPECT_FALSE(pt.translate(10 * gpuPageBytes).has_value())
+        << "unmapped access is a fault";
+
+    pt.unmap(0, gpuPageBytes);
+    EXPECT_FALSE(pt.translate(100).has_value());
+    EXPECT_TRUE(pt.translate(gpuPageBytes + 5).has_value());
+}
+
+TEST(PageTable, PartialPageRoundsToWholePages)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(gpuPageBytes / 2, gpuPageBytes)); // spans 2 pages
+    EXPECT_EQ(pt.mappedPages(), 2u);
+}
+
+TEST(PageTable, FailedMapRollsBack)
+{
+    FrameAllocator fa(2);
+    PageTable pt(fa);
+    EXPECT_FALSE(pt.map(0, 3 * gpuPageBytes));
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    EXPECT_EQ(fa.freeFrames(), 2u) << "no frames leaked";
+}
+
+TEST(PageTable, SeparateAddressSpaces)
+{
+    FrameAllocator fa(16);
+    PageTable a(fa), b(fa);
+    ASSERT_TRUE(a.map(0, gpuPageBytes));
+    ASSERT_TRUE(b.map(0, gpuPageBytes));
+    auto ta = a.translate(0);
+    auto tb = b.translate(0);
+    ASSERT_TRUE(ta && tb);
+    EXPECT_NE(*ta, *tb)
+        << "same virtual page of two contexts maps to distinct frames";
+}
+
+TEST(PageTable, DestructorReleasesFrames)
+{
+    FrameAllocator fa(4);
+    {
+        PageTable pt(fa);
+        ASSERT_TRUE(pt.map(0, 4 * gpuPageBytes));
+        EXPECT_EQ(fa.freeFrames(), 0u);
+    }
+    EXPECT_EQ(fa.freeFrames(), 4u);
+}
+
+TEST(Tlb, HitsAfterFill)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(0, 2 * gpuPageBytes));
+    Tlb tlb(8);
+
+    auto t1 = tlb.access(pt, 10);
+    ASSERT_TRUE(t1);
+    EXPECT_EQ(tlb.misses(), 1u);
+    auto t2 = tlb.access(pt, 20);
+    ASSERT_TRUE(t2);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(*t2 - *t1, 10u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(0, 4 * gpuPageBytes));
+    Tlb tlb(2);
+
+    tlb.access(pt, 0 * gpuPageBytes);                   // miss, cache A
+    tlb.access(pt, 1 * gpuPageBytes);                   // miss, cache B
+    tlb.access(pt, 0 * gpuPageBytes);                   // hit A
+    tlb.access(pt, 2 * gpuPageBytes);                   // miss, evict B
+    EXPECT_EQ(tlb.hits(), 1u);
+    tlb.access(pt, 1 * gpuPageBytes);                   // miss again (B gone)
+    EXPECT_EQ(tlb.misses(), 4u);
+    tlb.access(pt, 0 * gpuPageBytes);                   // A still resident?
+    // A was evicted by B's refill (capacity 2: {2, B} after miss on B).
+    EXPECT_EQ(tlb.misses(), 5u);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(0, gpuPageBytes));
+    Tlb tlb(8);
+    tlb.access(pt, 0);
+    tlb.flush();
+    tlb.access(pt, 0);
+    EXPECT_EQ(tlb.misses(), 2u);
+    EXPECT_EQ(tlb.hits(), 0u);
+}
+
+TEST(Tlb, FaultsAreNotCached)
+{
+    FrameAllocator fa(16);
+    PageTable pt(fa);
+    Tlb tlb(8);
+    EXPECT_FALSE(tlb.access(pt, 0).has_value());
+    EXPECT_FALSE(tlb.access(pt, 0).has_value());
+    EXPECT_EQ(tlb.misses(), 2u) << "faulting page must not be cached";
+}

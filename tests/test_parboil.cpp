@@ -1,0 +1,138 @@
+/** Tests for the Parboil benchmark application models. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+#include "trace/parboil.hh"
+
+using namespace gpump;
+using namespace gpump::trace;
+
+TEST(Parboil, SuiteHasTenBenchmarksInTableOrder)
+{
+    const auto &suite = parboilSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    const char *expected[] = {"lbm", "histo", "tpacf", "spmv", "mri-q",
+                              "sad", "sgemm", "stencil", "cutcp",
+                              "mri-gridding"};
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Parboil, EverySpecValidates)
+{
+    for (const auto &s : parboilSuite())
+        EXPECT_NO_THROW(s.validate()) << s.name;
+}
+
+TEST(Parboil, LaunchCountsMatchTable1)
+{
+    // Spot checks of the published launch counts.
+    std::map<std::string, int> expected = {
+        {"lbm.StreamCollide", 100},
+        {"histo.final", 20},
+        {"tpacf.genhists", 1},
+        {"spmv.spmvjds", 50},
+        {"mri-q.ComputeQ", 2},
+        {"mri-q.ComputePhiMag", 1},
+        {"sad.mbsadcalc", 1},
+        {"sgemm.mysgemmNT", 1},
+        {"stencil.block2Dregtiling", 100},
+        {"cutcp.lattice6overlap", 11},
+        {"mri-gridding.scaninter1", 9},
+        {"mri-gridding.scanL1", 8},
+        {"mri-gridding.uniformAdd", 8},
+        {"mri-gridding.splitSort", 7},
+        {"mri-gridding.splitRearrange", 7},
+        {"mri-gridding.scaninter2", 9},
+        {"mri-gridding.griddingGPU", 1},
+    };
+    for (const auto *k : allKernelProfiles()) {
+        auto it = expected.find(k->fullName());
+        if (it != expected.end())
+            EXPECT_EQ(k->launches, it->second) << k->fullName();
+    }
+}
+
+TEST(Parboil, TraceLaunchCountsEqualProfileLaunches)
+{
+    // validate() checks this, but assert the invariant explicitly for
+    // a benchmark with a complex loop structure.
+    const BenchmarkSpec &mg = findBenchmark("mri-gridding");
+    std::map<int, int> counts;
+    for (const auto &op : mg.ops) {
+        if (op.kind == TraceOp::Kind::KernelLaunch)
+            ++counts[op.kernelIndex];
+    }
+    for (std::size_t i = 0; i < mg.kernels.size(); ++i)
+        EXPECT_EQ(counts[static_cast<int>(i)], mg.kernels[i].launches)
+            << mg.kernels[i].kernel;
+}
+
+TEST(Parboil, DurationClassesMatchTable1)
+{
+    // Class 1 (kernel execution time) and Class 2 (application
+    // execution time) from Table 1.
+    std::map<std::string, std::pair<DurationClass, DurationClass>>
+        expected = {
+            {"lbm", {DurationClass::Medium, DurationClass::Long}},
+            {"histo", {DurationClass::Short, DurationClass::Medium}},
+            {"tpacf", {DurationClass::Long, DurationClass::Medium}},
+            {"spmv", {DurationClass::Short, DurationClass::Short}},
+            {"mri-q", {DurationClass::Medium, DurationClass::Short}},
+            {"sad", {DurationClass::Long, DurationClass::Long}},
+            {"sgemm", {DurationClass::Medium, DurationClass::Short}},
+            {"stencil", {DurationClass::Medium, DurationClass::Long}},
+            {"cutcp", {DurationClass::Medium, DurationClass::Medium}},
+            {"mri-gridding", {DurationClass::Long, DurationClass::Long}},
+        };
+    for (const auto &s : parboilSuite()) {
+        auto it = expected.find(s.name);
+        ASSERT_NE(it, expected.end());
+        EXPECT_EQ(s.kernelClass, it->second.first) << s.name;
+        EXPECT_EQ(s.appClass, it->second.second) << s.name;
+    }
+}
+
+TEST(Parboil, TracesBeginAndEndOnHostSide)
+{
+    // Every application trace is bracketed by host activity: setup
+    // before the first device op, post-processing after the last.
+    for (const auto &s : parboilSuite()) {
+        ASSERT_FALSE(s.ops.empty());
+        EXPECT_EQ(s.ops.front().kind, TraceOp::Kind::CpuPhase) << s.name;
+        EXPECT_EQ(s.ops.back().kind, TraceOp::Kind::CpuPhase) << s.name;
+    }
+}
+
+TEST(Parboil, EveryAppTransfersInAndOut)
+{
+    for (const auto &s : parboilSuite()) {
+        EXPECT_GT(s.bytesH2D(), 0) << s.name;
+        EXPECT_GT(s.bytesD2H(), 0) << s.name;
+        EXPECT_GT(s.cpuTime(), 0) << s.name;
+    }
+}
+
+TEST(Parboil, FindBenchmarkLookups)
+{
+    EXPECT_EQ(findBenchmark("sgemm").name, "sgemm");
+    EXPECT_THROW(findBenchmark("nope"), sim::FatalError);
+}
+
+TEST(Parboil, KernelNamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto *k : allKernelProfiles())
+        EXPECT_TRUE(names.insert(k->fullName()).second) << k->fullName();
+}
+
+TEST(Parboil, DurationClassNames)
+{
+    EXPECT_STREQ(durationClassName(DurationClass::Short), "SHORT");
+    EXPECT_STREQ(durationClassName(DurationClass::Medium), "MEDIUM");
+    EXPECT_STREQ(durationClassName(DurationClass::Long), "LONG");
+}

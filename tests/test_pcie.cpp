@@ -1,0 +1,93 @@
+/** Unit tests for the PCIe bus timing model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/pcie.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace gpump;
+using namespace gpump::memory;
+
+namespace {
+
+PcieBus
+makeBus(sim::StatRegistry &reg, double setup_us = 0.0)
+{
+    PcieParams p; // Table 2 defaults: 500 MHz, 32 lanes, 4 KB bursts
+    p.setupLatency = sim::microseconds(setup_us);
+    return PcieBus(reg, p);
+}
+
+} // namespace
+
+TEST(Pcie, Table2BandwidthIs16GBps)
+{
+    PcieParams p;
+    EXPECT_DOUBLE_EQ(p.bandwidth(), 16e9);
+}
+
+TEST(Pcie, SingleBurstDuration)
+{
+    sim::StatRegistry reg;
+    PcieBus bus = makeBus(reg);
+    // 4 KB at 16 GB/s = 256 ns.
+    EXPECT_EQ(bus.transferDuration(4096), 256);
+    // A 1-byte transfer still moves a whole burst.
+    EXPECT_EQ(bus.transferDuration(1), 256);
+}
+
+TEST(Pcie, DurationScalesWithBursts)
+{
+    sim::StatRegistry reg;
+    PcieBus bus = makeBus(reg);
+    EXPECT_EQ(bus.transferDuration(8192), 512);
+    EXPECT_EQ(bus.transferDuration(4097), 512) << "partial burst pads";
+    // 1 MiB = 256 bursts = 65536 ns.
+    EXPECT_EQ(bus.transferDuration(1 << 20), 65536);
+}
+
+TEST(Pcie, SetupLatencyAdds)
+{
+    sim::StatRegistry reg;
+    PcieBus bus = makeBus(reg, 2.0);
+    EXPECT_EQ(bus.transferDuration(4096), 2000 + 256);
+    EXPECT_EQ(bus.transferDuration(0), 2000)
+        << "zero-byte transfers still pay the API/DMA setup";
+}
+
+TEST(Pcie, NegativeSizePanics)
+{
+    sim::StatRegistry reg;
+    PcieBus bus = makeBus(reg);
+    EXPECT_THROW(bus.transferDuration(-1), sim::PanicError);
+}
+
+TEST(Pcie, UtilizationAccounting)
+{
+    sim::StatRegistry reg;
+    PcieBus bus = makeBus(reg);
+    bus.recordTransfer(4096, 256);
+    bus.recordTransfer(8192, 512);
+    EXPECT_DOUBLE_EQ(bus.bytesMoved(), 12288.0);
+    EXPECT_EQ(bus.busyTime(), 768);
+}
+
+TEST(Pcie, ConfigOverrides)
+{
+    sim::Config cfg;
+    cfg.parse("pcie.lanes=16");
+    cfg.parse("pcie.clock_hz=1e9");
+    cfg.parse("pcie.setup_latency_us=1.5");
+    PcieParams p = PcieParams::fromConfig(cfg);
+    EXPECT_EQ(p.lanes, 16);
+    EXPECT_DOUBLE_EQ(p.bandwidth(), 16e9);
+    EXPECT_EQ(p.setupLatency, sim::microseconds(1.5));
+}
+
+TEST(Pcie, InvalidConfigIsFatal)
+{
+    sim::Config cfg;
+    cfg.parse("pcie.lanes=0");
+    EXPECT_THROW(PcieParams::fromConfig(cfg), sim::FatalError);
+}

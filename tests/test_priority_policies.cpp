@@ -1,0 +1,237 @@
+/** Tests of the NPQ and PPQ policies (Sections 2.4, 4.2, 4.3). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "tests/test_util.hh"
+
+using namespace gpump;
+using test::DeviceRig;
+
+namespace {
+
+struct OrderProbe : core::EngineObserver
+{
+    sim::Simulation *sim = nullptr;
+    std::vector<std::pair<std::string, sim::SimTime>> starts;
+    std::vector<std::pair<std::string, sim::SimTime>> finishes;
+
+    void kernelStarted(const gpu::KernelExec &k) override
+    {
+        starts.emplace_back(k.profile().kernel, sim->now());
+    }
+    void kernelFinished(const gpu::KernelExec &k) override
+    {
+        finishes.emplace_back(k.profile().kernel, sim->now());
+    }
+    sim::SimTime startOf(const std::string &name) const
+    {
+        for (const auto &s : starts) {
+            if (s.first == name)
+                return s.second;
+        }
+        return -1;
+    }
+    sim::SimTime finishOf(const std::string &name) const
+    {
+        for (const auto &f : finishes) {
+            if (f.first == name)
+                return f.second;
+        }
+        return -1;
+    }
+};
+
+} // namespace
+
+TEST(Npq, ReordersByPriorityWithoutPreempting)
+{
+    // Figure 2b: K1 runs; K2 (low) and K3 (high) queued behind it.
+    // NPQ runs K3 right after K1, before K2 -- but never cuts K1 short.
+    DeviceRig rig("npq", "context_switch");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+
+    auto k1 = test::makeProfile("K1", 260, 50.0);
+    auto k2 = test::makeProfile("K2", 130, 20.0);
+    auto k3 = test::makeProfile("K3", 26, 10.0);
+    rig.launch(rig.queueFor(0), &k1, 0);
+    rig.launch(rig.queueFor(1), &k2, 0);
+    rig.launch(rig.queueFor(2), &k3, 5);
+    rig.run();
+
+    EXPECT_EQ(rig.framework.preemptions(), 0u);
+    ASSERT_EQ(probe.starts.size(), 3u);
+    EXPECT_EQ(probe.starts[0].first, "K1");
+    EXPECT_EQ(probe.starts[1].first, "K3") << "priority order after K1";
+    EXPECT_EQ(probe.starts[2].first, "K2");
+    EXPECT_GE(probe.startOf("K3"), probe.finishOf("K1"))
+        << "nonpreemptive: K3 waits for the running kernel";
+}
+
+TEST(Npq, TwoProcessCaseDegeneratesToFcfs)
+{
+    // With 2 processes the NPQ scheduler "never has any choice"
+    // (Section 4.2): one pending kernel at a time.
+    DeviceRig rig("npq", "context_switch");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+    auto k1 = test::makeProfile("K1", 130, 50.0);
+    auto k3 = test::makeProfile("K3", 26, 10.0);
+    rig.launch(rig.queueFor(0), &k1, 0);
+    rig.launch(rig.queueFor(1), &k3, 5);
+    rig.run();
+    EXPECT_GE(probe.startOf("K3"), probe.finishOf("K1"));
+}
+
+TEST(Ppq, PreemptsRunningLowPriorityKernel)
+{
+    // Figure 2c: K3's latency shrinks below the NPQ case because K1
+    // is preempted rather than drained to completion.
+    auto latency_under = [](const std::string &policy) {
+        DeviceRig rig(policy, "context_switch");
+        OrderProbe probe;
+        probe.sim = &rig.sim;
+        rig.framework.setObserver(&probe);
+        auto k1 = test::makeProfile("K1", 520, 50.0);
+        auto k3 = test::makeProfile("K3", 26, 10.0);
+        rig.launch(rig.queueFor(0), &k1, 0);
+        rig.run(sim::microseconds(20.0));
+        sim::SimTime submit = rig.sim.now();
+        rig.launch(rig.queueFor(1), &k3, 5);
+        rig.run();
+        return probe.finishOf("K3") - submit;
+    };
+
+    sim::SimTime npq = latency_under("npq");
+    sim::SimTime ppq = latency_under("ppq_excl");
+    EXPECT_LT(ppq, npq)
+        << "preemption must cut the high-priority turnaround";
+}
+
+TEST(Ppq, ExclusiveModeBlocksBackfilling)
+{
+    // While the high-priority kernel is active, idle SMs must NOT be
+    // given to low-priority kernels in exclusive mode.
+    DeviceRig rig("ppq_excl", "context_switch");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+
+    // hi uses only 1 SM (16 TBs, occupancy 16) and runs long.
+    auto hi = test::makeProfile("hi", 16, 500.0);
+    auto lo = test::makeProfile("lo", 16, 10.0);
+    rig.launch(rig.queueFor(0), &hi, 5);
+    rig.run(sim::microseconds(1.0));
+    rig.launch(rig.queueFor(1), &lo, 0);
+    rig.run();
+
+    EXPECT_GE(probe.startOf("lo"), probe.finishOf("hi"))
+        << "exclusive access: low priority waits while high is active";
+}
+
+TEST(Ppq, SharedModeBackfillsIdleSms)
+{
+    DeviceRig rig("ppq_shared", "context_switch");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+
+    auto hi = test::makeProfile("hi", 16, 500.0);
+    auto lo = test::makeProfile("lo", 16, 10.0);
+    rig.launch(rig.queueFor(0), &hi, 5);
+    rig.run(sim::microseconds(1.0));
+    rig.launch(rig.queueFor(1), &lo, 0);
+    rig.run();
+
+    EXPECT_LT(probe.startOf("lo"), probe.finishOf("hi"))
+        << "shared access: low priority back-fills free SMs";
+}
+
+TEST(Ppq, SharedModeReclaimsBackfilledSms)
+{
+    // After backfilling, a new high-priority kernel must reclaim the
+    // SMs by preemption.
+    DeviceRig rig("ppq_shared", "context_switch");
+    auto lo = test::makeProfile("lo", 26 * 16, 100.0);
+    auto hi = test::makeProfile("hi", 130, 20.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(5.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+    EXPECT_GT(rig.framework.preemptions(), 0u);
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 2u);
+}
+
+TEST(Ppq, EqualPrioritiesDoNotPreemptEachOther)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    auto k1 = test::makeProfile("k1", 130, 20.0);
+    auto k2 = test::makeProfile("k2", 130, 20.0);
+    rig.launch(rig.queueFor(0), &k1, 3);
+    rig.run(sim::microseconds(5.0));
+    rig.launch(rig.queueFor(1), &k2, 3);
+    rig.run();
+    EXPECT_EQ(rig.framework.preemptions(), 0u)
+        << "preemption requires strictly higher priority";
+}
+
+TEST(Ppq, PreemptsOnlyWhatItNeeds)
+{
+    // hi needs 2 SMs (32 TBs, occupancy 16); only 2 of lo's 13 SMs
+    // should be preempted.
+    DeviceRig rig("ppq_excl", "context_switch");
+    auto lo = test::makeProfile("lo", 26 * 16, 200.0);
+    auto hi = test::makeProfile("hi", 32, 10.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(5.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+    EXPECT_EQ(rig.framework.preemptions(), 2u);
+}
+
+TEST(Ppq, WorksWithDrainingMechanism)
+{
+    DeviceRig rig("ppq_excl", "draining");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+    auto lo = test::makeProfile("lo", 520, 50.0);
+    auto hi = test::makeProfile("hi", 26, 10.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(20.0));
+    rig.launch(rig.queueFor(1), &hi, 5);
+    rig.run();
+    EXPECT_GT(rig.framework.preemptions(), 0u);
+    EXPECT_DOUBLE_EQ(rig.framework.contextBytesSaved(), 0.0);
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 2u);
+    // hi starts before lo fully finishes (it got drained SMs early).
+    EXPECT_LT(probe.startOf("hi"), probe.finishOf("lo"));
+}
+
+TEST(Ppq, ThreePriorityLevelsStack)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    OrderProbe probe;
+    probe.sim = &rig.sim;
+    rig.framework.setObserver(&probe);
+    auto low = test::makeProfile("low", 260, 50.0);
+    auto mid = test::makeProfile("mid", 130, 20.0);
+    auto top = test::makeProfile("top", 26, 5.0);
+    rig.launch(rig.queueFor(0), &low, 0);
+    rig.run(sim::microseconds(10.0));
+    rig.launch(rig.queueFor(1), &mid, 3);
+    rig.run(sim::microseconds(30.0));
+    rig.launch(rig.queueFor(2), &top, 9);
+    rig.run();
+    // Completion order follows priority: top, then mid, then low.
+    ASSERT_EQ(probe.finishes.size(), 3u);
+    EXPECT_EQ(probe.finishes[0].first, "top");
+    EXPECT_EQ(probe.finishes[1].first, "mid");
+    EXPECT_EQ(probe.finishes[2].first, "low");
+}

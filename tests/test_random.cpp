@@ -1,0 +1,150 @@
+/** Unit tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace gpump;
+using sim::Rng;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestoresStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniformInt(static_cast<std::uint64_t>(13));
+        ASSERT_LT(v, 13u);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(static_cast<std::int64_t>(-5), 5);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng r(17);
+    std::vector<int> seen(6, 0);
+    for (int i = 0; i < 6000; ++i)
+        ++seen[static_cast<std::size_t>(r.uniformInt(
+            static_cast<std::uint64_t>(6)))];
+    for (int count : seen)
+        EXPECT_GT(count, 800) << "a face of the die never came up";
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMatchesMeanAndCv)
+{
+    Rng r(31);
+    const double target_mean = 8.7, target_cv = 0.4;
+    double sum = 0.0, sq = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.lognormal(target_mean, target_cv);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double cv = std::sqrt(sq / n - mean * mean) / mean;
+    EXPECT_NEAR(mean, target_mean, target_mean * 0.02);
+    EXPECT_NEAR(cv, target_cv, 0.02);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic)
+{
+    Rng r(1);
+    EXPECT_DOUBLE_EQ(r.lognormal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(41);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(55);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, InvalidArgumentsPanic)
+{
+    Rng r(1);
+    EXPECT_THROW(r.uniformInt(static_cast<std::uint64_t>(0)),
+                 sim::PanicError);
+    EXPECT_THROW(r.lognormal(-1.0, 0.5), sim::PanicError);
+    EXPECT_THROW(r.lognormal(1.0, -0.5), sim::PanicError);
+    EXPECT_THROW(r.exponential(0.0), sim::PanicError);
+}
