@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the labelled suite.
+# Used locally and by .github/workflows/ci.yml — keep them in sync.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run every figure/table bench binary and collect the outputs under
+# results/ (one .txt per bench). Bench programs are long; this is a
+# manual tool, not part of the tier-1 gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-results}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found — build first (scripts/check.sh)" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+status=0
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$bin" ] || continue
+    ran=$((ran + 1))
+    name=$(basename "$bin")
+    echo "== $name"
+    if "$bin" "$@" > "$OUT_DIR/$name.txt" 2>&1; then
+        echo "   -> $OUT_DIR/$name.txt"
+    else
+        echo "   FAILED (see $OUT_DIR/$name.txt)" >&2
+        status=1
+    fi
+done
+if [ "$ran" -eq 0 ]; then
+    echo "error: no bench binaries in $BUILD_DIR/bench — build first" >&2
+    exit 1
+fi
+exit $status

@@ -9,9 +9,17 @@ namespace gpump {
 namespace sim {
 
 Stat::Stat(StatRegistry &registry, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+    : registry_(&registry), name_(std::move(name)), desc_(std::move(desc))
 {
     registry.add(this);
+}
+
+Stat::~Stat()
+{
+    // Unregister so a stat destroyed before its registry (including a
+    // derived constructor that throws after the base registered the
+    // object) cannot leave a dangling pointer behind.
+    registry_->remove(this);
 }
 
 void

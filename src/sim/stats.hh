@@ -27,8 +27,10 @@ class StatRegistry;
 class Stat
 {
   public:
+    /** Registers with @p registry; the registry must outlive the
+     *  stat, which unregisters itself on destruction. */
     Stat(StatRegistry &registry, std::string name, std::string desc);
-    virtual ~Stat() = default;
+    virtual ~Stat();
 
     Stat(const Stat &) = delete;
     Stat &operator=(const Stat &) = delete;
@@ -43,6 +45,7 @@ class Stat
     virtual void reset() = 0;
 
   private:
+    StatRegistry *registry_;
     std::string name_;
     std::string desc_;
 };
@@ -126,9 +129,10 @@ class Histogram : public Stat
 };
 
 /**
- * Owner-registry of stats.  Stats register themselves at construction
- * and must outlive the registry's dump calls; the registry does not
- * own them (they are members of their components).
+ * Registry of stats.  Stats register themselves at construction and
+ * unregister at destruction; the registry does not own them (they are
+ * members of their components) but must outlive every registered
+ * stat, since ~Stat calls back into remove().
  */
 class StatRegistry
 {

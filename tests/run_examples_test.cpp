@@ -1,0 +1,72 @@
+/**
+ * End-to-end runs of every examples/ binary.
+ *
+ * The build injects GPUMP_EXAMPLES_BINDIR (directory holding the
+ * example_<name> binaries) and GPUMP_EXAMPLE_LIST (comma-separated
+ * example names).  Each example must run to completion and exit 0;
+ * this keeps the examples from silently rotting as the simulator
+ * evolves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef GPUMP_EXAMPLE_LIST
+#error "build must define GPUMP_EXAMPLE_LIST"
+#endif
+#ifndef GPUMP_EXAMPLES_BINDIR
+#error "build must define GPUMP_EXAMPLES_BINDIR"
+#endif
+
+namespace {
+
+std::vector<std::string>
+exampleNames()
+{
+    std::vector<std::string> names;
+    std::stringstream ss(GPUMP_EXAMPLE_LIST);
+    std::string name;
+    while (std::getline(ss, name, ','))
+        if (!name.empty())
+            names.push_back(name);
+    return names;
+}
+
+class RunExample : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RunExample, ExitsZero)
+{
+    const std::string binary =
+        std::string(GPUMP_EXAMPLES_BINDIR) + "/example_" + GetParam();
+    // Quote the path: the build tree may live under a directory with
+    // spaces, and std::system goes through the shell.
+    const std::string command = "\"" + binary + "\"";
+    const int status = std::system(command.c_str());
+    ASSERT_NE(status, -1) << "failed to spawn " << binary;
+#ifdef WIFEXITED
+    ASSERT_TRUE(WIFEXITED(status))
+        << binary << " terminated abnormally (status " << status << ")";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << binary << " exited non-zero";
+#else
+    EXPECT_EQ(status, 0) << binary << " exited non-zero";
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, RunExample,
+                         ::testing::ValuesIn(exampleNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+
+// ValuesIn on an empty list would make the suite vacuous; fail loudly
+// instead if the build wired up no examples.
+TEST(RunExampleSetup, AtLeastOneExampleConfigured)
+{
+    EXPECT_FALSE(exampleNames().empty());
+}

@@ -101,3 +101,42 @@ TEST(Generator, AllBenchmarksReachableInUniformPlans)
         seen.insert(p.benchmarks.begin(), p.benchmarks.end());
     EXPECT_EQ(seen.size(), trace::parboilSuite().size());
 }
+
+TEST(Generator, PlanSeedsAreDistinctAndDeterministic)
+{
+    // Each workload gets its own simulation seed so runs are
+    // independent, and re-generating with the same base seed must
+    // reproduce the exact seed assignment.
+    auto a = makePrioritizedPlans(4, 2, 17);
+    auto b = makePrioritizedPlans(4, 2, 17);
+    std::set<std::uint64_t> seeds;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        seeds.insert(a[i].seed);
+    }
+    EXPECT_EQ(seeds.size(), a.size()) << "duplicate per-plan seeds";
+}
+
+TEST(Generator, PlanBenchmarksComeFromTheParboilSuite)
+{
+    std::set<std::string> suite;
+    for (const auto &spec : trace::parboilSuite())
+        suite.insert(spec.name);
+
+    for (auto &plans : {makePrioritizedPlans(6, 2, 23),
+                        makeUniformPlans(6, 12, 23)}) {
+        for (const auto &p : plans)
+            for (const auto &name : p.benchmarks)
+                EXPECT_TRUE(suite.count(name))
+                    << name << " is not a Parboil benchmark";
+    }
+}
+
+TEST(Generator, UniformPlanCountAndWidthAreHonoured)
+{
+    auto plans = makeUniformPlans(5, 13, 31);
+    ASSERT_EQ(plans.size(), 13u);
+    for (const auto &p : plans)
+        EXPECT_EQ(p.benchmarks.size(), 5u);
+}

@@ -52,8 +52,9 @@ TEST(Parboil, LaunchCountsMatchTable1)
     };
     for (const auto *k : allKernelProfiles()) {
         auto it = expected.find(k->fullName());
-        if (it != expected.end())
+        if (it != expected.end()) {
             EXPECT_EQ(k->launches, it->second) << k->fullName();
+        }
     }
 }
 

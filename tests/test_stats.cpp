@@ -119,3 +119,23 @@ TEST(Stats, WelfordStableForLargeStreams)
     EXPECT_NEAR(d.mean(), 1e9, 1e-3);
     EXPECT_NEAR(d.stddev(), 1.0, 1e-6);
 }
+
+TEST(Stats, DestroyedStatUnregistersItself)
+{
+    // A stat that dies before its registry must drop out of it:
+    // otherwise the registry dangles (caught by ASan as a
+    // use-after-scope when a throwing Histogram constructor left its
+    // half-built object registered).
+    StatRegistry reg;
+    {
+        Scalar tmp(reg, "x.tmp", "scoped");
+        EXPECT_EQ(reg.find("x.tmp"), &tmp);
+    }
+    EXPECT_EQ(reg.find("x.tmp"), nullptr);
+
+    // The name is reusable afterwards, including after a derived
+    // constructor threw past the base-class registration.
+    EXPECT_THROW(Histogram(reg, "x.tmp", "", 5.0, 5.0, 4), PanicError);
+    Scalar again(reg, "x.tmp", "reused");
+    EXPECT_EQ(reg.find("x.tmp"), &again);
+}

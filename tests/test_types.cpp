@@ -1,0 +1,52 @@
+/** Tests of the sim/types.hh unit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace gpump::sim;
+
+TEST(Types, UnitConstructorsScaleToNanoseconds)
+{
+    EXPECT_EQ(nanoseconds(7), 7);
+    EXPECT_EQ(microseconds(1.0), 1000);
+    EXPECT_EQ(milliseconds(1.0), 1000000);
+    EXPECT_EQ(seconds(1.0), 1000000000);
+}
+
+TEST(Types, ConstructorsRoundToNearestNanosecond)
+{
+    EXPECT_EQ(microseconds(0.0004), 0);
+    EXPECT_EQ(microseconds(0.0006), 1);
+    EXPECT_EQ(microseconds(-0.0006), -1);
+    EXPECT_EQ(milliseconds(0.0000006), 1);
+}
+
+TEST(Types, ExtractorsInvertConstructors)
+{
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(123.0)), 123.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(4.5)), 4.5);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2.0)), 2.0);
+}
+
+TEST(Types, TransferTimeRoundsUpToAWholeNanosecond)
+{
+    // 1 byte at 1 GB/s is exactly 1 ns.
+    EXPECT_EQ(transferTime(1.0, 1e9), 1);
+    // Any fractional remainder must round *up*: a nonzero payload can
+    // never fabricate a zero-cost transfer.
+    EXPECT_EQ(transferTime(1.0, 2e9), 1);
+    EXPECT_EQ(transferTime(3.0, 2e9), 2);
+    EXPECT_GE(transferTime(1e-6, 1e12), 1);
+    EXPECT_EQ(transferTime(0.0, 1e9), 0);
+    EXPECT_EQ(transferTime(-5.0, 1e9), 0);
+}
+
+TEST(Types, SentinelsAreNegative)
+{
+    EXPECT_LT(invalidContext, 0);
+    EXPECT_LT(invalidSm, 0);
+    EXPECT_LT(invalidKsr, 0);
+    EXPECT_LT(invalidProcess, 0);
+    EXPECT_GT(maxTime, 0);
+}
