@@ -11,17 +11,16 @@
  * choice.
  *
  * Usage: ablation_ptbq_order [--workloads=N] [--replays=N] [--seed=N]
+ *                            [--jobs=N] [--csv] [--jsonl[=path]]
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench/bench_util.hh"
 #include "core/tables.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "metrics/metrics.hh"
-#include "workload/generator.hh"
-#include "workload/system.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -30,47 +29,47 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt =
+        BenchOptions::fromArgs(args, "ablation_ptbq_order");
     int nprocs = 4;
 
     gpu::GpuParams params = gpu::GpuParams::fromConfig(args.config());
     int onchip = core::ptbqCapacityPerKernel(params);
 
+    sim::Config preempted_first_cfg, fresh_first_cfg;
+    preempted_first_cfg.set("engine.preempted_first", true);
+    fresh_first_cfg.set("engine.preempted_first", false);
+
+    harness::Suite suite("ablation_ptbq");
+    suite
+        .fixedPlans(workload::makeUniformPlans(nprocs, opt.workloads,
+                                               opt.seed))
+        .minReplays(opt.replays)
+        .limit(sim::seconds(120.0))
+        .scheme("preempted-first", {"dss", "context_switch", "fcfs"},
+                preempted_first_cfg)
+        .scheme("fresh-first", {"dss", "context_switch", "fcfs"},
+                fresh_first_cfg);
+    harness::Batch batch = suite.build();
+
+    harness::Runner runner(args.config(), opt.jobs);
+    runner.setProgress(progressMeter("ablation_ptbq"));
+    auto results = runner.run(batch.requests);
+
     harness::AsciiTable t({"order", "mean ANTT", "mean STP",
                            "max PTBQ depth", "fits on chip"});
 
-    for (bool preempted_first : {true, false}) {
-        sim::Config cfg = args.config();
-        cfg.set("engine.preempted_first", preempted_first);
-        harness::Experiment exp(cfg);
-        exp.setMinReplays(opt.replays);
-
-        auto plans = workload::makeUniformPlans(nprocs, opt.workloads,
-                                                opt.seed);
+    for (std::size_t ci = 0; ci < batch.schemes.size(); ++ci) {
         double antt_sum = 0, stp_sum = 0, max_depth = 0;
-        int done = 0;
-        for (const auto &plan : plans) {
-            workload::SystemSpec spec;
-            spec.benchmarks = plan.benchmarks;
-            spec.policy = "dss";
-            spec.mechanism = "context_switch";
-            spec.seed = plan.seed;
-            spec.minReplays = opt.replays;
-            workload::System system(spec, cfg);
-            auto result = system.run(sim::seconds(120.0));
-
-            std::vector<double> iso;
-            for (const auto &b : plan.benchmarks)
-                iso.push_back(exp.isolatedTimeUs(b));
-            auto m = metrics::computeMetrics(iso,
-                                             result.meanTurnaroundUs);
-            antt_sum += m.antt;
-            stp_sum += m.stp;
-            max_depth = std::max(max_depth, result.maxPtbqDepth);
-            progress("ablation_ptbq", nprocs, ++done,
-                     static_cast<int>(plans.size()));
+        for (std::size_t pi = 0; pi < batch.numPlans(0); ++pi) {
+            const auto &r = results[batch.indexOf(0, pi, ci)];
+            antt_sum += r.metrics.antt;
+            stp_sum += r.metrics.stp;
+            max_depth = std::max(max_depth, r.sys.maxPtbqDepth);
         }
-        double n = static_cast<double>(opt.workloads);
+        double n = static_cast<double>(batch.numPlans(0));
+        bool preempted_first = batch.schemes[ci].overrides.getBool(
+            "engine.preempted_first", true);
         t.addRow({preempted_first ? "preempted-first (paper)"
                                   : "fresh-first (ablated)",
                   harness::fmt(antt_sum / n),
@@ -83,7 +82,7 @@ main(int argc, char **argv)
                  "switch workloads)\n\nOn-chip PTBQ capacity per "
                  "kernel: "
               << onchip << " entries\n\n";
-    t.print(std::cout);
+    emitTable(t, opt.csv, opt.jsonl);
     std::cout << "\nIssuing preempted blocks first bounds the PTBQ "
                  "(on-chip storage stays\nsufficient) at no "
                  "throughput cost; fresh-first can exceed the bound "

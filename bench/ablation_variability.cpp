@@ -12,14 +12,15 @@
  * insensitive to it.
  *
  * Usage: ablation_variability [--workloads=N] [--replays=N] [--seed=N]
+ *                             [--jobs=N] [--csv] [--jsonl[=path]]
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "workload/generator.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -28,35 +29,47 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt =
+        BenchOptions::fromArgs(args, "ablation_variability");
     int nprocs = 4;
+    const std::vector<double> cvs = {0.0, 0.2, 0.5};
+
+    harness::Suite suite("ablation_cv");
+    suite
+        .fixedPlans(workload::makeUniformPlans(nprocs, opt.workloads,
+                                               opt.seed))
+        .minReplays(opt.replays);
+    for (double cv : cvs) {
+        sim::Config cfg;
+        cfg.set("gpu.tb_time_cv", cv);
+        std::string label = "cv=" + harness::fmt(cv, 1);
+        suite.scheme(label + "/cs",
+                     {"dss", "context_switch", "fcfs"}, cfg);
+        suite.scheme(label + "/drain", {"dss", "draining", "fcfs"},
+                     cfg);
+    }
+    harness::Batch batch = suite.build();
+
+    harness::Runner runner(args.config(), opt.jobs);
+    runner.setProgress(progressMeter("ablation_cv"));
+    auto results = runner.run(batch.requests);
 
     harness::AsciiTable t({"TB time CV", "ANTT CS", "ANTT Drain",
                            "STP CS", "STP Drain"});
 
-    for (double cv : {0.0, 0.2, 0.5}) {
-        sim::Config cfg = args.config();
-        cfg.set("gpu.tb_time_cv", cv);
-        harness::Experiment exp(cfg);
-        exp.setMinReplays(opt.replays);
-
-        auto plans =
-            workload::makeUniformPlans(nprocs, opt.workloads, opt.seed);
+    for (std::size_t v = 0; v < cvs.size(); ++v) {
         double antt_cs = 0, antt_drain = 0, stp_cs = 0, stp_drain = 0;
-        int done = 0;
-        for (const auto &plan : plans) {
-            auto cs =
-                exp.run(plan, {"dss", "context_switch", "fcfs"});
-            auto drain = exp.run(plan, {"dss", "draining", "fcfs"});
+        for (std::size_t pi = 0; pi < batch.numPlans(0); ++pi) {
+            const auto &cs = results[batch.indexOf(0, pi, 2 * v)];
+            const auto &drain =
+                results[batch.indexOf(0, pi, 2 * v + 1)];
             antt_cs += cs.metrics.antt;
             antt_drain += drain.metrics.antt;
             stp_cs += cs.metrics.stp;
             stp_drain += drain.metrics.stp;
-            progress("ablation_cv", nprocs, ++done,
-                     static_cast<int>(plans.size()));
         }
-        double n = static_cast<double>(opt.workloads);
-        t.addRow({harness::fmt(cv, 1), harness::fmt(antt_cs / n),
+        double n = static_cast<double>(batch.numPlans(0));
+        t.addRow({harness::fmt(cvs[v], 1), harness::fmt(antt_cs / n),
                   harness::fmt(antt_drain / n),
                   harness::fmt(stp_cs / n),
                   harness::fmt(stp_drain / n)});
@@ -64,7 +77,7 @@ main(int argc, char **argv)
 
     std::cout << "Ablation: thread-block duration variability "
                  "(4-process DSS workloads)\n\n";
-    t.print(std::cout);
+    emitTable(t, opt.csv, opt.jsonl);
     std::cout << "\nDraining must wait for the slowest resident block "
                  "while the SM empties out;\nthe longer the tail, the "
                  "longer the SM runs underutilized.  Context-switch\n"

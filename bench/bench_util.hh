@@ -1,17 +1,21 @@
 /**
  * @file
  * Shared helpers for the figure-regeneration benches: common CLI
- * options, Class 1/2 lookups and progress reporting.
+ * options, Class 1/2 lookups, thread-safe progress reporting and
+ * table emission.
  */
 
 #ifndef GPUMP_BENCH_BENCH_UTIL_HH
 #define GPUMP_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/args.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
 #include "trace/parboil.hh"
 
 namespace gpump {
@@ -32,12 +36,20 @@ struct BenchOptions
     int replays = 3;
     std::uint64_t seed = 20140614; // ISCA 2014
     bool csv = false;
+    /** Worker threads for the batch runner (--jobs=N; default 1). */
+    int jobs = 1;
+    /** JSON-lines output path; empty = disabled.  Bare --jsonl picks
+     *  results/<bench>.jsonl. */
+    std::string jsonl;
 
     /**
      * Parse from args: --quick shrinks everything for smoke runs;
-     * --per-bench/--workloads/--replays/--seed/--csv override.
+     * --sizes/--per-bench/--workloads/--replays/--seed/--csv/--jobs/
+     * --jsonl[=path] override.  @p bench_name names the default
+     * JSONL file.
      */
-    static BenchOptions fromArgs(const harness::Args &args)
+    static BenchOptions fromArgs(const harness::Args &args,
+                                 const std::string &bench_name)
     {
         BenchOptions o;
         if (args.hasFlag("quick")) {
@@ -45,6 +57,7 @@ struct BenchOptions
             o.workloads = 3;
             o.replays = 2;
         }
+        o.sizes = args.flagIntList("sizes", o.sizes);
         o.perBench = static_cast<int>(
             args.flagInt("per-bench", o.perBench));
         o.workloads = static_cast<int>(
@@ -54,7 +67,20 @@ struct BenchOptions
         o.seed = static_cast<std::uint64_t>(
             args.flagInt("seed", static_cast<std::int64_t>(o.seed)));
         o.csv = args.hasFlag("csv");
+        o.jobs = static_cast<int>(args.flagInt("jobs", o.jobs));
+        o.jsonl = jsonlPath(args, bench_name);
         return o;
+    }
+
+    static std::string jsonlPath(const harness::Args &args,
+                                 const std::string &bench_name)
+    {
+        if (!args.hasFlag("jsonl"))
+            return "";
+        std::string p = args.flag("jsonl", "");
+        if (p.empty() || p == "true")
+            p = "results/" + bench_name + ".jsonl";
+        return p;
     }
 };
 
@@ -118,12 +144,38 @@ groupName(int idx)
     }
 }
 
-/** One-line progress note on stderr (stdout stays machine-clean). */
-inline void
-progress(const char *what, int size, int done, int total)
+/**
+ * Thread-safe, jobs-aware progress meter for Runner::setProgress.
+ *
+ * `done` comes from the Runner's atomic completion counter (runs
+ * finish out of order under --jobs), and each update is a single
+ * fprintf so concurrent lines never interleave.  stderr only: stdout
+ * stays machine-clean.
+ */
+inline harness::Runner::ProgressFn
+progressMeter(std::string what)
 {
-    std::fprintf(stderr, "[%s] %d-process workloads: %d/%d done\n",
-                 what, size, done, total);
+    return [what = std::move(what)](std::size_t done, std::size_t total,
+                                    const harness::RunRequest &req) {
+        std::fprintf(stderr, "[%s] %zu/%zu done (%s)\n", what.c_str(),
+                     done, total, req.tag.c_str());
+    };
+}
+
+/** Print @p t as text or CSV, and to @p jsonl_path when non-empty. */
+inline void
+emitTable(const harness::AsciiTable &t, bool csv,
+          const std::string &jsonl_path = "")
+{
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    if (!jsonl_path.empty()) {
+        harness::JsonlWriter w(jsonl_path);
+        t.printJsonl(w.stream());
+        std::fprintf(stderr, "wrote %s\n", jsonl_path.c_str());
+    }
 }
 
 /** Mean of a vector; 0 for empty (group absent at this size). */

@@ -13,7 +13,8 @@
  * prioritization under FCFS.
  *
  * Usage: fig5_ppq_ntt [--quick] [--per-bench=N] [--replays=N]
- *                     [--seed=N] [--csv] [key=value ...]
+ *                     [--seed=N] [--sizes=2,4,...] [--jobs=N]
+ *                     [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
@@ -21,9 +22,8 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "workload/generator.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -32,50 +32,44 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt = BenchOptions::fromArgs(args, "fig5_ppq_ntt");
 
-    harness::Experiment exp(figureConfig(args));
-    exp.setMinReplays(opt.replays);
+    harness::Suite suite("fig5");
+    suite.sizes(opt.sizes)
+        .prioritized(opt.perBench, opt.seed)
+        .minReplays(opt.replays)
+        .schemeNonprioritized("BASE",
+                              {"fcfs", "context_switch", "fcfs"})
+        .scheme("NPQ", {"npq", "context_switch", "priority"})
+        .scheme("PPQ-CS", {"ppq_excl", "context_switch", "priority"})
+        .scheme("PPQ-Drain", {"ppq_excl", "draining", "priority"});
+    harness::Batch batch = suite.build();
 
-    const std::vector<std::pair<std::string, harness::Scheme>> schemes =
-        {
-            {"NPQ", {"npq", "context_switch", "priority"}},
-            {"PPQ-CS", {"ppq_excl", "context_switch", "priority"}},
-            {"PPQ-Drain", {"ppq_excl", "draining", "priority"}},
-        };
-    const harness::Scheme baseline{"fcfs", "context_switch", "fcfs"};
+    harness::Runner runner(figureConfig(args), opt.jobs);
+    runner.setProgress(progressMeter("fig5"));
+    auto results = runner.run(batch.requests);
 
     // improvements[group][size][scheme] -> samples
     std::map<int, std::map<int, std::vector<std::vector<double>>>>
         improvements;
+    const std::size_t nschemes = 3; // NPQ, PPQ-CS, PPQ-Drain
 
-    for (int size : opt.sizes) {
-        auto plans = workload::makePrioritizedPlans(
-            size, opt.perBench, opt.seed + static_cast<unsigned>(size));
-        int done = 0;
-        for (const auto &plan : plans) {
-            // Nonprioritized execution of the same workload.
-            workload::WorkloadPlan base_plan = plan;
-            base_plan.highPriorityIndex = -1;
+    for (std::size_t si = 0; si < batch.sizes.size(); ++si) {
+        for (std::size_t pi = 0; pi < batch.numPlans(si); ++pi) {
+            const auto &plan = batch.plansBySize[si][pi];
             double ntt_base =
-                exp.run(base_plan, baseline).metrics.ntt[0];
-
-            std::vector<double> impr;
-            impr.reserve(schemes.size());
-            for (const auto &s : schemes) {
-                double ntt = exp.run(plan, s.second).metrics.ntt[0];
-                impr.push_back(ntt_base / ntt);
-            }
+                results[batch.indexOf(si, pi, 0)].metrics.ntt[0];
 
             int grp = groupIndex(class1Of(plan.benchmarks[0]));
             for (int g : {grp, groupAverage}) {
-                auto &bucket = improvements[g][size];
-                bucket.resize(schemes.size());
-                for (std::size_t i = 0; i < schemes.size(); ++i)
-                    bucket[i].push_back(impr[i]);
+                auto &bucket = improvements[g][batch.sizes[si]];
+                bucket.resize(nschemes);
+                for (std::size_t s = 0; s < nschemes; ++s) {
+                    double ntt = results[batch.indexOf(si, pi, s + 1)]
+                                     .metrics.ntt[0];
+                    bucket[s].push_back(ntt_base / ntt);
+                }
             }
-            progress("fig5", size, ++done,
-                     static_cast<int>(plans.size()));
         }
     }
 
@@ -100,10 +94,9 @@ main(int argc, char **argv)
     std::cout << "Figure 5: NTT improvement of the high-priority "
                  "process over its\nnonprioritized (FCFS) execution.  "
                  "Groups = Class 1 of the prioritized benchmark.\n\n";
-    if (opt.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emitTable(t, opt.csv);
+    if (!opt.jsonl.empty())
+        harness::writeResultsJsonl(opt.jsonl, batch, results);
     std::cout << "\nPaper shape: NPQ ~1.1-1.6x; PPQ-CS grows to "
                  "~15.6x and PPQ-Drain to ~6x at 8\nprocesses on "
                  "average; the SHORT group benefits most (CS up to "

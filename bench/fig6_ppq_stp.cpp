@@ -9,7 +9,8 @@
  * workload; NPQ on the transfer engine throughout).
  *
  * Usage: fig6_ppq_stp [--quick] [--per-bench=N] [--replays=N]
- *                     [--seed=N] [--csv] [key=value ...]
+ *                     [--seed=N] [--sizes=2,4,...] [--jobs=N]
+ *                     [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
@@ -17,9 +18,8 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "workload/generator.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -28,37 +28,39 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt = BenchOptions::fromArgs(args, "fig6_ppq_stp");
 
-    harness::Experiment exp(figureConfig(args));
-    exp.setMinReplays(opt.replays);
+    harness::Suite suite("fig6");
+    suite.sizes(opt.sizes)
+        .prioritized(opt.perBench, opt.seed)
+        .minReplays(opt.replays)
+        .scheme("NPQ", {"npq", "context_switch", "priority"})
+        .scheme("excl/CS", {"ppq_excl", "context_switch", "priority"})
+        .scheme("excl/Drain", {"ppq_excl", "draining", "priority"})
+        .scheme("shared/CS",
+                {"ppq_shared", "context_switch", "priority"})
+        .scheme("shared/Drain", {"ppq_shared", "draining", "priority"});
+    harness::Batch batch = suite.build();
 
-    const harness::Scheme npq{"npq", "context_switch", "priority"};
-    const std::vector<std::pair<std::string, harness::Scheme>> schemes =
-        {
-            {"excl/CS", {"ppq_excl", "context_switch", "priority"}},
-            {"excl/Drain", {"ppq_excl", "draining", "priority"}},
-            {"shared/CS", {"ppq_shared", "context_switch", "priority"}},
-            {"shared/Drain", {"ppq_shared", "draining", "priority"}},
-        };
+    harness::Runner runner(figureConfig(args), opt.jobs);
+    runner.setProgress(progressMeter("fig6"));
+    auto results = runner.run(batch.requests);
 
     // degradation[size][scheme] -> samples of STP_npq / STP_scheme.
+    const std::size_t nschemes = 4;
     std::map<int, std::vector<std::vector<double>>> degradation;
 
-    for (int size : opt.sizes) {
-        auto plans = workload::makePrioritizedPlans(
-            size, opt.perBench, opt.seed + static_cast<unsigned>(size));
-        degradation[size].resize(schemes.size());
-        int done = 0;
-        for (const auto &plan : plans) {
-            double stp_npq = exp.run(plan, npq).metrics.stp;
-            for (std::size_t i = 0; i < schemes.size(); ++i) {
-                double stp =
-                    exp.run(plan, schemes[i].second).metrics.stp;
-                degradation[size][i].push_back(stp_npq / stp);
+    for (std::size_t si = 0; si < batch.sizes.size(); ++si) {
+        auto &buckets = degradation[batch.sizes[si]];
+        buckets.resize(nschemes);
+        for (std::size_t pi = 0; pi < batch.numPlans(si); ++pi) {
+            double stp_npq =
+                results[batch.indexOf(si, pi, 0)].metrics.stp;
+            for (std::size_t s = 0; s < nschemes; ++s) {
+                double stp = results[batch.indexOf(si, pi, s + 1)]
+                                 .metrics.stp;
+                buckets[s].push_back(stp_npq / stp);
             }
-            progress("fig6", size, ++done,
-                     static_cast<int>(plans.size()));
         }
     }
 
@@ -74,10 +76,7 @@ main(int argc, char **argv)
                           meanOrZero(degradation[size][drain_idx]))});
         }
         std::cout << title << "\n\n";
-        if (opt.csv)
-            t.printCsv(std::cout);
-        else
-            t.print(std::cout);
+        emitTable(t, opt.csv);
         std::cout << "\n";
     };
 
@@ -85,6 +84,8 @@ main(int argc, char **argv)
                  "throughput lost)\n\n";
     emit("(a) Exclusive access for the high-priority process:", 0, 1);
     emit("(b) Shared access (low-priority back-filling):", 2, 3);
+    if (!opt.jsonl.empty())
+        harness::writeResultsJsonl(opt.jsonl, batch, results);
     std::cout << "Paper shape: exclusive CS ~1.08-1.12x, exclusive "
                  "draining ~1.09-1.38x;\nthe shared scheme degrades "
                  "more than the exclusive one (preempted backfills\n"

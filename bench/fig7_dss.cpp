@@ -12,7 +12,8 @@
  * the first admitted kernels; FCFS on the transfer engine.
  *
  * Usage: fig7_dss [--quick] [--workloads=N] [--replays=N] [--seed=N]
- *                 [--csv] [key=value ...]
+ *                 [--sizes=2,4,...] [--jobs=N] [--csv]
+ *                 [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
@@ -20,9 +21,8 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "workload/generator.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -31,35 +31,38 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt = BenchOptions::fromArgs(args, "fig7_dss");
 
-    harness::Experiment exp(figureConfig(args));
-    exp.setMinReplays(opt.replays);
+    harness::Suite suite("fig7");
+    suite.sizes(opt.sizes)
+        .uniform(opt.workloads, opt.seed)
+        .minReplays(opt.replays)
+        .scheme("FCFS", {"fcfs", "context_switch", "fcfs"})
+        .scheme("DSS-CS", {"dss", "context_switch", "fcfs"})
+        .scheme("DSS-Drain", {"dss", "draining", "fcfs"});
+    harness::Batch batch = suite.build();
 
-    const harness::Scheme fcfs{"fcfs", "context_switch", "fcfs"};
-    const std::vector<std::pair<std::string, harness::Scheme>> schemes =
-        {
-            {"DSS-CS", {"dss", "context_switch", "fcfs"}},
-            {"DSS-Drain", {"dss", "draining", "fcfs"}},
-        };
+    harness::Runner runner(figureConfig(args), opt.jobs);
+    runner.setProgress(progressMeter("fig7"));
+    auto results = runner.run(batch.requests);
 
     // ntt_impr[group][size][scheme], fair_impr[size][scheme],
     // stp_degr[size][scheme].
+    const std::size_t nschemes = 2; // DSS-CS, DSS-Drain
     std::map<int, std::map<int, std::vector<std::vector<double>>>>
         ntt_impr;
     std::map<int, std::vector<std::vector<double>>> fair_impr;
     std::map<int, std::vector<std::vector<double>>> stp_degr;
 
-    for (int size : opt.sizes) {
-        auto plans = workload::makeUniformPlans(
-            size, opt.workloads, opt.seed + static_cast<unsigned>(size));
-        fair_impr[size].resize(schemes.size());
-        stp_degr[size].resize(schemes.size());
-        int done = 0;
-        for (const auto &plan : plans) {
-            auto base = exp.run(plan, fcfs);
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
-                auto r = exp.run(plan, schemes[s].second);
+    for (std::size_t si = 0; si < batch.sizes.size(); ++si) {
+        int size = batch.sizes[si];
+        fair_impr[size].resize(nschemes);
+        stp_degr[size].resize(nschemes);
+        for (std::size_t pi = 0; pi < batch.numPlans(si); ++pi) {
+            const auto &plan = batch.plansBySize[si][pi];
+            const auto &base = results[batch.indexOf(si, pi, 0)];
+            for (std::size_t s = 0; s < nschemes; ++s) {
+                const auto &r = results[batch.indexOf(si, pi, s + 1)];
                 fair_impr[size][s].push_back(r.metrics.fairness /
                                              base.metrics.fairness);
                 stp_degr[size][s].push_back(base.metrics.stp /
@@ -72,13 +75,11 @@ main(int argc, char **argv)
                         groupIndex(class2Of(plan.benchmarks[i]));
                     for (int g : {grp, groupAverage}) {
                         auto &bucket = ntt_impr[g][size];
-                        bucket.resize(schemes.size());
+                        bucket.resize(nschemes);
                         bucket[s].push_back(impr);
                     }
                 }
             }
-            progress("fig7", size, ++done,
-                     static_cast<int>(plans.size()));
         }
     }
 
@@ -102,10 +103,7 @@ main(int argc, char **argv)
         }
         std::cout << "(a) Turnaround time improvement (groups = "
                      "Class 2 of each app):\n\n";
-        if (opt.csv)
-            t.printCsv(std::cout);
-        else
-            t.print(std::cout);
+        emitTable(t, opt.csv);
     }
 
     auto emit_by_size =
@@ -119,16 +117,15 @@ main(int argc, char **argv)
                               meanOrZero(data[size][1]))});
             }
             std::cout << "\n" << title << "\n\n";
-            if (opt.csv)
-                t.printCsv(std::cout);
-            else
-                t.print(std::cout);
+            emitTable(t, opt.csv);
         };
 
     emit_by_size("(b) System fairness improvement over FCFS:",
                  fair_impr);
     emit_by_size("(c) System throughput degradation over FCFS:",
                  stp_degr);
+    if (!opt.jsonl.empty())
+        harness::writeResultsJsonl(opt.jsonl, batch, results);
 
     std::cout << "\nPaper shape: SHORT apps gain most (CS 2.45-4x), "
                  "LONG apps degrade to ~0.55x;\naverage NTT "

@@ -7,18 +7,17 @@
  * between the two mechanisms visible.
  *
  * Usage: fig8_antt_curves [--quick] [--workloads=N] [--replays=N]
- *                         [--seed=N] [--csv] [key=value ...]
+ *                         [--seed=N] [--sizes=2,4,...] [--jobs=N]
+ *                         [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <algorithm>
 #include <iostream>
-#include <map>
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
-#include "workload/generator.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 using namespace gpump::bench;
@@ -27,41 +26,40 @@ int
 main(int argc, char **argv)
 {
     harness::Args args(argc, argv);
-    BenchOptions opt = BenchOptions::fromArgs(args);
+    BenchOptions opt = BenchOptions::fromArgs(args, "fig8_antt_curves");
 
-    harness::Experiment exp(figureConfig(args));
-    exp.setMinReplays(opt.replays);
+    harness::Suite suite("fig8");
+    suite.sizes(opt.sizes)
+        .uniform(opt.workloads, opt.seed)
+        .minReplays(opt.replays)
+        .scheme("FCFS", {"fcfs", "context_switch", "fcfs"})
+        .scheme("DSS-CS", {"dss", "context_switch", "fcfs"})
+        .scheme("DSS-Drain", {"dss", "draining", "fcfs"});
+    harness::Batch batch = suite.build();
 
-    const std::vector<std::pair<std::string, harness::Scheme>> schemes =
-        {
-            {"FCFS", {"fcfs", "context_switch", "fcfs"}},
-            {"DSS-CS", {"dss", "context_switch", "fcfs"}},
-            {"DSS-Drain", {"dss", "draining", "fcfs"}},
-        };
+    harness::Runner runner(figureConfig(args), opt.jobs);
+    runner.setProgress(progressMeter("fig8"));
+    auto results = runner.run(batch.requests);
 
     std::cout << "Figure 8: ANTT for all simulated workloads (each "
                  "series sorted ascending,\nposition = percentile of "
                  "workloads)\n";
 
-    for (int size : opt.sizes) {
-        auto plans = workload::makeUniformPlans(
-            size, opt.workloads, opt.seed + static_cast<unsigned>(size));
-        std::vector<std::vector<double>> antt(schemes.size());
-        int done = 0;
-        for (const auto &plan : plans) {
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
+    const std::size_t nschemes = batch.schemes.size();
+    for (std::size_t si = 0; si < batch.sizes.size(); ++si) {
+        std::vector<std::vector<double>> antt(nschemes);
+        for (std::size_t pi = 0; pi < batch.numPlans(si); ++pi) {
+            for (std::size_t s = 0; s < nschemes; ++s) {
                 antt[s].push_back(
-                    exp.run(plan, schemes[s].second).metrics.antt);
+                    results[batch.indexOf(si, pi, s)].metrics.antt);
             }
-            progress("fig8", size, ++done,
-                     static_cast<int>(plans.size()));
         }
         for (auto &series : antt)
             std::sort(series.begin(), series.end());
 
         harness::AsciiTable t({"% workloads", "FCFS", "DSS-CS",
                                "DSS-Drain"});
-        int n = static_cast<int>(plans.size());
+        int n = static_cast<int>(batch.numPlans(si));
         for (int i = 0; i < n; ++i) {
             double pct = n == 1
                 ? 100.0
@@ -83,11 +81,9 @@ main(int argc, char **argv)
             drain_wins += antt[2][idx] < antt[1][idx];
         }
 
-        std::cout << "\n--- " << size << "-process workloads ---\n\n";
-        if (opt.csv)
-            t.printCsv(std::cout);
-        else
-            t.print(std::cout);
+        std::cout << "\n--- " << batch.sizes[si]
+                  << "-process workloads ---\n\n";
+        emitTable(t, opt.csv);
         std::cout << "\nsorted-position comparison: DSS-CS below FCFS "
                   << "at " << improved_cs << "/" << n
                   << " positions, DSS-Drain at " << improved_drain
@@ -95,6 +91,8 @@ main(int argc, char **argv)
                   << "/" << n << " positions (the Figure 8 "
                   << "cross-over).\n";
     }
+    if (!opt.jsonl.empty())
+        harness::writeResultsJsonl(opt.jsonl, batch, results);
 
     std::cout << "\nPaper shape: at 2 processes only ~20% of "
                  "workloads improve; the fraction\ngrows with "

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "gpu/gpu_config.hh"
+#include "harness/suite.hh"
 #include "metrics/metrics.hh"
 #include "sim/event.hh"
 #include "sim/random.hh"
@@ -136,5 +137,28 @@ BM_MultiprogrammedDssRun(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_MultiprogrammedDssRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunnerBatch(benchmark::State &state)
+{
+    // A small Suite grid through the batch Runner; the argument is
+    // the job count, so 1 vs N shows the thread-pool speedup on a
+    // multi-core host.
+    const int jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        harness::Suite suite("micro");
+        suite.sizes({2})
+            .uniform(4, 20140614)
+            .minReplays(1)
+            .scheme("FCFS", {"fcfs", "context_switch", "fcfs"})
+            .scheme("DSS-CS", {"dss", "context_switch", "fcfs"});
+        harness::Batch batch = suite.build();
+        harness::Runner runner(sim::Config(), jobs);
+        auto results = runner.run(batch.requests);
+        benchmark::DoNotOptimize(results.front().metrics.antt);
+    }
+}
+BENCHMARK(BM_RunnerBatch)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 } // namespace

@@ -7,11 +7,12 @@
  * context save time are *derived* by the library's occupancy and
  * context models and must match the published values.
  *
- * Usage: table1_kernel_stats [--csv] [key=value ...]
+ * Usage: table1_kernel_stats [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "gpu/gpu_config.hh"
 #include "harness/args.hh"
 #include "harness/report.hh"
@@ -62,9 +63,8 @@ main(int argc, char **argv)
                  "benchmark applications\n"
                  "(TBs/SM, Resour(%) and Save(us) are derived by the "
                  "occupancy/context models)\n\n";
-    if (args.hasFlag("csv"))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    bench::emitTable(
+        t, args.hasFlag("csv"),
+        bench::BenchOptions::jsonlPath(args, "table1_kernel_stats"));
     return 0;
 }

@@ -6,11 +6,12 @@
  * reflected — the printed table is always what the simulator actually
  * uses.
  *
- * Usage: table2_sim_params [--csv] [key=value ...]
+ * Usage: table2_sim_params [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "gpu/gpu_config.hh"
 #include "harness/args.hh"
 #include "harness/report.hh"
@@ -76,9 +77,8 @@ main(int argc, char **argv)
 
     std::cout << "Table 2: simulation parameters used in the "
                  "experimental evaluation\n\n";
-    if (args.hasFlag("csv"))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    bench::emitTable(
+        t, args.hasFlag("csv"),
+        bench::BenchOptions::jsonlPath(args, "table2_sim_params"));
     return 0;
 }

@@ -6,11 +6,12 @@
  * than 0.5 KB, and the PTBQs take 21 KB (context-switch mechanism
  * only).
  *
- * Usage: table_sram_overheads [key=value ...]
+ * Usage: table_sram_overheads [--csv] [--jsonl[=path]] [key=value ...]
  */
 
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "core/tables.hh"
 #include "harness/args.hh"
 #include "harness/report.hh"
@@ -48,7 +49,9 @@ main(int argc, char **argv)
               harness::fmt(static_cast<double>(c.ptbqBytes), 0)});
 
     std::cout << "Scheduling framework SRAM overheads (Section 3.3)\n\n";
-    t.print(std::cout);
+    bench::emitTable(
+        t, args.hasFlag("csv"),
+        bench::BenchOptions::jsonlPath(args, "table_sram_overheads"));
     std::cout << "\nCore structures total: " << c.coreBytes()
               << " B (paper: < 0.5 KB)\n";
     std::cout << "PTBQ total:            " << c.ptbqBytes << " B = "

@@ -5,14 +5,19 @@
  * against DSS equal sharing with both preemption mechanisms — the
  * deployment scenario Section 4.4 argues for ("multi-tenant cloud or
  * server nodes").
+ *
+ * Demonstrates the declarative harness: the comparison is a Suite of
+ * one fixed plan x three schemes, executed as a batch on two worker
+ * threads (results are deterministic and ordered regardless of the
+ * job count — see harness/runner.hh).
  */
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/suite.hh"
 #include "trace/parboil.hh"
 
 using namespace gpump;
@@ -27,21 +32,20 @@ main()
     tenants.benchmarks = {"sgemm", "spmv", "sad", "lbm"};
     tenants.seed = 2026;
 
-    harness::Experiment exp;
-    exp.setMinReplays(3);
+    harness::Suite suite("cloud");
+    suite.fixedPlans({tenants})
+        .minReplays(3)
+        .scheme("fcfs", {"fcfs", "context_switch", "fcfs"})
+        .scheme("dss/cs", {"dss", "context_switch", "fcfs"})
+        .scheme("dss/drain", {"dss", "draining", "fcfs"});
+    harness::Batch batch = suite.build();
 
-    std::vector<harness::Scheme> schemes = {
-        {"fcfs", "context_switch", "fcfs"},
-        {"dss", "context_switch", "fcfs"},
-        {"dss", "draining", "fcfs"},
-    };
+    harness::Runner runner(sim::Config(), /*jobs=*/2);
+    std::vector<harness::RunResult> results =
+        runner.run(batch.requests);
 
     AsciiTable per_tenant({"tenant", "class", "fcfs NTT",
                            "dss/cs NTT", "dss/drain NTT"});
-    std::vector<harness::SchemeResult> results;
-    for (const auto &s : schemes)
-        results.push_back(exp.run(tenants, s));
-
     for (std::size_t i = 0; i < tenants.benchmarks.size(); ++i) {
         const auto &bench =
             trace::findBenchmark(tenants.benchmarks[i]);
@@ -72,9 +76,12 @@ main()
          harness::fmt(results[2].metrics.fairness)});
     system_table.addRow(
         {"preemptions",
-         harness::fmt(static_cast<double>(results[0].preemptions), 0),
-         harness::fmt(static_cast<double>(results[1].preemptions), 0),
-         harness::fmt(static_cast<double>(results[2].preemptions), 0)});
+         harness::fmt(static_cast<double>(results[0].sys.preemptions),
+                      0),
+         harness::fmt(static_cast<double>(results[1].sys.preemptions),
+                      0),
+         harness::fmt(static_cast<double>(results[2].sys.preemptions),
+                      0)});
 
     std::printf("\nSystem metrics:\n\n");
     system_table.print(std::cout);

@@ -9,13 +9,16 @@
  *   ./build/examples/quickstart
  *
  * Everything shown here is public API:
+ *  - harness::Suite / harness::Runner declare and execute experiment
+ *    batches (with cached isolated baselines and ready-made metrics);
  *  - trace::BenchmarkSpec / TraceBuilder describe an application;
- *  - workload::System assembles the simulated machine;
- *  - metrics::computeMetrics turns turnarounds into ANTT/STP/fairness.
+ *  - workload::System assembles one simulated machine when you need
+ *    full control.
  */
 
 #include <cstdio>
 
+#include "harness/suite.hh"
 #include "metrics/metrics.hh"
 #include "trace/parboil.hh"
 #include "trace/trace_builder.hh"
@@ -26,61 +29,52 @@ using namespace gpump;
 int
 main()
 {
-    // --- 1. Run a Parboil benchmark alone to get its baseline. -----
-    workload::SystemSpec solo;
-    solo.benchmarks = {"sgemm"};
-    solo.minReplays = 3;
-    workload::System solo_system(solo);
-    double sgemm_alone_us =
-        solo_system.run(sim::seconds(10.0)).meanTurnaroundUs[0];
+    // --- 1. A Runner memoizes isolated baselines: each benchmark ---
+    //        alone on the machine, the denominator of every metric.
+    harness::Runner runner;
+    double sgemm_alone_us = runner.isolatedTimeUs("sgemm");
     std::printf("sgemm alone:            %8.1f us per execution\n",
                 sgemm_alone_us);
 
-    // --- 2. Co-run it with a long benchmark under the baseline ----
-    //        FCFS scheduler (today's GPUs).
-    workload::SystemSpec fcfs;
-    fcfs.benchmarks = {"sgemm", "mri-gridding"};
-    fcfs.policy = "fcfs";
-    fcfs.minReplays = 3;
-    workload::System fcfs_system(fcfs);
-    auto fcfs_result = fcfs_system.run(sim::seconds(60.0));
+    // --- 2. Declare the comparison: one workload (sgemm next to a --
+    //        long benchmark) under today's FCFS GPUs and under
+    //        Dynamic Spatial Sharing with context-switch preemption.
+    workload::WorkloadPlan plan;
+    plan.benchmarks = {"sgemm", "mri-gridding"};
+
+    harness::Suite suite("quickstart");
+    suite.fixedPlans({plan})
+        .minReplays(3)
+        .limit(sim::seconds(60.0))
+        .scheme("fcfs", {"fcfs", "context_switch", "fcfs"})
+        .scheme("dss", {"dss", "context_switch", "fcfs"});
+    harness::Batch batch = suite.build();
+
+    // --- 3. Run the batch.  Results come back in request order; ----
+    //        metrics are already computed against the baselines.
+    auto results = runner.run(batch.requests);
+    const harness::RunResult &fcfs = results[batch.indexOf(0, 0, 0)];
+    const harness::RunResult &dss = results[batch.indexOf(0, 0, 1)];
+
     std::printf("sgemm next to gridding/FCFS: %8.1f us per execution "
                 "(%.2fx slowdown)\n",
-                fcfs_result.meanTurnaroundUs[0],
-                fcfs_result.meanTurnaroundUs[0] / sgemm_alone_us);
-
-    // --- 3. Same workload under Dynamic Spatial Sharing with the ---
-    //        context-switch preemption mechanism.
-    workload::SystemSpec dss = fcfs;
-    dss.policy = "dss";
-    dss.mechanism = "context_switch";
-    workload::System dss_system(dss);
-    auto dss_result = dss_system.run(sim::seconds(60.0));
+                fcfs.sys.meanTurnaroundUs[0],
+                fcfs.sys.meanTurnaroundUs[0] / sgemm_alone_us);
     std::printf("sgemm next to gridding/DSS :  %8.1f us per execution "
                 "(%.2fx slowdown, %llu preemptions)\n",
-                dss_result.meanTurnaroundUs[0],
-                dss_result.meanTurnaroundUs[0] / sgemm_alone_us,
-                static_cast<unsigned long long>(dss_result.preemptions));
+                dss.sys.meanTurnaroundUs[0],
+                dss.sys.meanTurnaroundUs[0] / sgemm_alone_us,
+                static_cast<unsigned long long>(dss.sys.preemptions));
 
     // --- 4. System-level metrics for both runs. --------------------
-    workload::SystemSpec lbm_solo;
-    lbm_solo.benchmarks = {"mri-gridding"};
-    lbm_solo.minReplays = 3;
-    workload::System lbm_system(lbm_solo);
-    double lbm_alone_us =
-        lbm_system.run(sim::seconds(60.0)).meanTurnaroundUs[0];
-
-    std::vector<double> iso = {sgemm_alone_us, lbm_alone_us};
-    auto m_fcfs =
-        metrics::computeMetrics(iso, fcfs_result.meanTurnaroundUs);
-    auto m_dss =
-        metrics::computeMetrics(iso, dss_result.meanTurnaroundUs);
     std::printf("\n%-6s  %-8s %-8s %-8s\n", "policy", "ANTT", "STP",
                 "fairness");
-    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "fcfs", m_fcfs.antt,
-                m_fcfs.stp, m_fcfs.fairness);
-    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "dss", m_dss.antt,
-                m_dss.stp, m_dss.fairness);
+    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "fcfs",
+                fcfs.metrics.antt, fcfs.metrics.stp,
+                fcfs.metrics.fairness);
+    std::printf("%-6s  %-8.2f %-8.2f %-8.2f\n", "dss",
+                dss.metrics.antt, dss.metrics.stp,
+                dss.metrics.fairness);
 
     // --- 5. Define your own application and schedule it. -----------
     //        A small iterative solver: upload, 20 solver kernels,
@@ -113,7 +107,8 @@ main()
                 static_cast<double>(my_app.bytesD2H()) / (1 << 20),
                 sim::toMicroseconds(my_app.cpuTime()));
 
-    // Run it against lbm under DSS, through the same machinery.
+    // Custom applications run through the low-level System API (the
+    // machinery underneath the Runner).
     const trace::BenchmarkSpec &lbm = trace::findBenchmark("lbm");
     workload::SystemSpec custom;
     custom.customSpecs = {&my_app, &lbm};

@@ -7,6 +7,10 @@
  * GPU with three batch applications.  We compare how predictably the
  * task completes under FCFS, NPQ and PPQ with both mechanisms, and
  * report deadline-hit rates at several deadline budgets.
+ *
+ * The four schedulers are expressed as one declarative Suite over a
+ * single prioritized plan; the Runner executes the batch and returns
+ * the full per-execution records each scheme produced.
  */
 
 #include <algorithm>
@@ -15,7 +19,7 @@
 #include <vector>
 
 #include "harness/report.hh"
-#include "workload/system.hh"
+#include "harness/suite.hh"
 
 using namespace gpump;
 
@@ -29,23 +33,14 @@ struct Outcome
     double hit2x = 0, hit5x = 0, hit15x = 0;
 };
 
+/** Deadline statistics of the task's executions under one scheme. */
 Outcome
-runScheme(const std::string &label, const std::string &policy,
-          const std::string &mechanism, double isolated_us)
+summarize(const std::string &label, const harness::RunResult &result,
+          double isolated_us)
 {
-    workload::SystemSpec spec;
-    spec.benchmarks = {"mri-q", "lbm", "stencil", "mri-gridding"};
-    spec.priorities = {1, 0, 0, 0};
-    spec.policy = policy;
-    spec.mechanism = mechanism;
-    spec.transferPolicy = policy == "fcfs" ? "fcfs" : "priority";
-    spec.minReplays = 3;
-    workload::System system(spec);
-    auto result = system.run(sim::seconds(120.0));
-
     Outcome o;
     o.label = label;
-    const auto &runs = result.runs[0];
+    const auto &runs = result.sys.runs[0];
     int n = static_cast<int>(runs.size());
     int hit2 = 0, hit5 = 0, hit15 = 0;
     for (const auto &r : runs) {
@@ -67,28 +62,34 @@ runScheme(const std::string &label, const std::string &policy,
 int
 main()
 {
-    // Baseline: the task alone on the GPU.
-    workload::SystemSpec solo;
-    solo.benchmarks = {"mri-q"};
-    solo.minReplays = 3;
-    workload::System solo_system(solo);
-    double isolated_us =
-        solo_system.run(sim::seconds(10.0)).meanTurnaroundUs[0];
+    workload::WorkloadPlan plan;
+    plan.benchmarks = {"mri-q", "lbm", "stencil", "mri-gridding"};
+    plan.highPriorityIndex = 0;
+
+    harness::Suite suite("realtime");
+    suite.fixedPlans({plan})
+        .minReplays(3)
+        .limit(sim::seconds(120.0))
+        .scheme("fcfs", {"fcfs", "context_switch", "fcfs"})
+        .scheme("npq", {"npq", "context_switch", "priority"})
+        .scheme("ppq/drain", {"ppq_excl", "draining", "priority"})
+        .scheme("ppq/cs", {"ppq_excl", "context_switch", "priority"});
+    harness::Batch batch = suite.build();
+
+    harness::Runner runner(sim::Config(), /*jobs=*/2);
+    double isolated_us = runner.isolatedTimeUs("mri-q");
+    auto results = runner.run(batch.requests);
 
     std::printf("Soft real-time mri-q against three batch apps\n");
     std::printf("=============================================\n\n");
     std::printf("mri-q alone: %.0f us per frame\n\n", isolated_us);
 
-    std::vector<Outcome> outcomes = {
-        runScheme("fcfs", "fcfs", "context_switch", isolated_us),
-        runScheme("npq", "npq", "context_switch", isolated_us),
-        runScheme("ppq/drain", "ppq_excl", "draining", isolated_us),
-        runScheme("ppq/cs", "ppq_excl", "context_switch", isolated_us),
-    };
-
     harness::AsciiTable t({"scheduler", "mean (us)", "worst (us)",
                            "<=2x iso", "<=5x iso", "<=15x iso"});
-    for (const auto &o : outcomes) {
+    for (std::size_t ci = 0; ci < batch.schemes.size(); ++ci) {
+        Outcome o = summarize(batch.schemes[ci].name,
+                              results[batch.indexOf(0, 0, ci)],
+                              isolated_us);
         t.addRow({o.label, harness::fmt(o.mean_us, 0),
                   harness::fmt(o.worst_us, 0),
                   harness::fmt(o.hit2x, 0) + "%",

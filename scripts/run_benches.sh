@@ -14,6 +14,8 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
     exit 1
 fi
 
+JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+
 mkdir -p "$OUT_DIR"
 status=0
 ran=0
@@ -21,8 +23,14 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
     [ -x "$bin" ] || continue
     ran=$((ran + 1))
     name=$(basename "$bin")
+    # The figure/table benches run their batches on a thread pool;
+    # micro_simcore is Google Benchmark and rejects foreign flags.
+    jobs_flag="--jobs=$JOBS"
+    case "$name" in
+        *micro*) jobs_flag="" ;;
+    esac
     echo "== $name"
-    if "$bin" "$@" > "$OUT_DIR/$name.txt" 2>&1; then
+    if "$bin" $jobs_flag "$@" > "$OUT_DIR/$name.txt" 2>&1; then
         echo "   -> $OUT_DIR/$name.txt"
     else
         echo "   FAILED (see $OUT_DIR/$name.txt)" >&2

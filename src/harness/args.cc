@@ -53,6 +53,35 @@ Args::flagInt(const std::string &name, std::int64_t def) const
     return static_cast<std::int64_t>(v);
 }
 
+std::vector<int>
+Args::flagIntList(const std::string &name, std::vector<int> def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    std::vector<int> out;
+    const std::string &v = it->second;
+    std::size_t pos = 0;
+    while (pos <= v.size()) {
+        std::size_t comma = v.find(',', pos);
+        std::string item = v.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        char *end = nullptr;
+        long long n = std::strtoll(item.c_str(), &end, 0);
+        if (item.empty() || end == item.c_str() || *end != '\0') {
+            sim::fatal("flag --%s expects a comma-separated integer "
+                       "list, got '%s'",
+                       name.c_str(), v.c_str());
+        }
+        out.push_back(static_cast<int>(n));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
 double
 Args::flagDouble(const std::string &name, double def) const
 {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/config.hh"
 
@@ -38,6 +39,9 @@ class Args
                      const std::string &def) const;
     std::int64_t flagInt(const std::string &name, std::int64_t def) const;
     double flagDouble(const std::string &name, double def) const;
+    /** Comma-separated integer list, e.g. --sizes=2,4,6,8. */
+    std::vector<int> flagIntList(const std::string &name,
+                                 std::vector<int> def) const;
     /** @} */
 
   private:

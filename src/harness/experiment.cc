@@ -1,75 +1,35 @@
 #include "harness/experiment.hh"
 
-#include "sim/logging.hh"
-
 namespace gpump {
 namespace harness {
 
-std::string
-Scheme::label() const
-{
-    if (policy == "fcfs" || policy == "npq")
-        return policy;
-    return policy + "/" + mechanism;
-}
-
 Experiment::Experiment(sim::Config base)
-    : base_(std::move(base))
+    : runner_(std::move(base), /*jobs=*/1)
 {
 }
 
 double
 Experiment::isolatedTimeUs(const std::string &benchmark)
 {
-    auto it = isolatedCache_.find(benchmark);
-    if (it != isolatedCache_.end())
-        return it->second;
-
-    workload::SystemSpec spec;
-    spec.benchmarks = {benchmark};
-    spec.policy = "fcfs";
-    spec.mechanism = "context_switch";
-    spec.transferPolicy = "fcfs";
-    spec.seed = 0x150ca7ed; // isolated runs share one fixed seed
-    spec.minReplays = minReplays_;
-
-    workload::System system(spec, base_);
-    workload::SystemResult result = system.run();
-    double us = result.meanTurnaroundUs.at(0);
-    GPUMP_ASSERT(us > 0.0, "isolated run of %s took no time",
-                 benchmark.c_str());
-    isolatedCache_.emplace(benchmark, us);
-    return us;
+    return runner_.isolatedTimeUs(benchmark, minReplays_);
 }
 
 SchemeResult
 Experiment::run(const workload::WorkloadPlan &plan, const Scheme &scheme)
 {
-    workload::SystemSpec spec;
-    spec.benchmarks = plan.benchmarks;
-    spec.priorities = plan.priorities();
-    spec.policy = scheme.policy;
-    spec.mechanism = scheme.mechanism;
-    spec.transferPolicy = scheme.transferPolicy;
-    spec.seed = plan.seed;
-    spec.minReplays = minReplays_;
-
-    workload::System system(spec, base_);
-    workload::SystemResult run_result = system.run();
-
-    std::vector<double> isolated;
-    isolated.reserve(plan.benchmarks.size());
-    for (const auto &b : plan.benchmarks)
-        isolated.push_back(isolatedTimeUs(b));
+    RunRequest req;
+    req.plan = plan;
+    req.scheme = scheme;
+    req.minReplays = minReplays_;
+    RunResult r = runner_.runOne(req);
 
     SchemeResult out;
-    out.metrics = metrics::computeMetrics(isolated,
-                                          run_result.meanTurnaroundUs);
-    out.meanTurnaroundUs = run_result.meanTurnaroundUs;
-    out.preemptions = run_result.preemptions;
-    out.kernelsCompleted = run_result.kernelsCompleted;
-    out.contextBytesSaved = run_result.contextBytesSaved;
-    out.endTime = run_result.endTime;
+    out.metrics = std::move(r.metrics);
+    out.meanTurnaroundUs = std::move(r.sys.meanTurnaroundUs);
+    out.preemptions = r.sys.preemptions;
+    out.kernelsCompleted = r.sys.kernelsCompleted;
+    out.contextBytesSaved = r.sys.contextBytesSaved;
+    out.endTime = r.sys.endTime;
     return out;
 }
 

@@ -1,38 +1,26 @@
 /**
  * @file
- * Experiment runner: the glue between workload plans, systems and
- * metrics.
+ * Experiment: the serial, single-run convenience wrapper over the
+ * batch runner.
  *
- * An Experiment caches per-benchmark isolated execution times (the
- * denominator of every Eyerman-Eeckhout metric) and runs (plan,
- * scheme) pairs to SystemMetrics.  All benches build on this.
+ * Historically this was the whole harness ("call Experiment::run in a
+ * loop"); batch work now goes through harness::Suite + harness::Runner
+ * (see runner.hh for the declarative API and its determinism
+ * contract).  Experiment remains for one-off runs and tests: it owns
+ * a Runner configured for in-thread execution and shares its
+ * thread-safe isolated-baseline cache.
  */
 
 #ifndef GPUMP_HARNESS_EXPERIMENT_HH
 #define GPUMP_HARNESS_EXPERIMENT_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
-#include "metrics/metrics.hh"
-#include "sim/config.hh"
-#include "workload/generator.hh"
-#include "workload/system.hh"
+#include "harness/runner.hh"
 
 namespace gpump {
 namespace harness {
-
-/** A scheduling scheme: the knobs the paper's figures compare. */
-struct Scheme
-{
-    std::string policy = "fcfs";
-    std::string mechanism = "context_switch";
-    std::string transferPolicy = "fcfs";
-
-    /** "policy/mechanism" label for reports. */
-    std::string label() const;
-};
 
 /** Result of one workload under one scheme. */
 struct SchemeResult
@@ -52,12 +40,15 @@ class Experiment
     /** @param base config overrides applied to every simulation. */
     explicit Experiment(sim::Config base = sim::Config());
 
-    const sim::Config &baseConfig() const { return base_; }
+    const sim::Config &baseConfig() const
+    {
+        return runner_.baseConfig();
+    }
 
     /**
      * Isolated execution time of @p benchmark (microseconds): the
      * application alone on the machine under FCFS, mean turnaround
-     * over minReplays executions.  Cached.
+     * over minReplays executions.  Cached (thread-safe).
      */
     double isolatedTimeUs(const std::string &benchmark);
 
@@ -70,9 +61,8 @@ class Experiment
     int minReplays() const { return minReplays_; }
 
   private:
-    sim::Config base_;
+    Runner runner_;
     int minReplays_ = 3;
-    std::map<std::string, double> isolatedCache_;
 };
 
 } // namespace harness

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Batch runner: execute many (plan, scheme) simulation requests
+ * across a thread pool, deterministically.
+ *
+ * The harness API is declarative: benches describe *what* to run as a
+ * list of RunRequest values (usually produced by a harness::Suite
+ * grid) and hand the whole batch to a Runner.  The Runner executes
+ * requests on up to `jobs` worker threads — every request constructs
+ * its own workload::System, and the sim layer keeps no global mutable
+ * state — and returns results *in request order*, so the output of a
+ * batch is bit-identical for any job count.
+ *
+ * Determinism contract:
+ *  - each request's simulation is seeded solely by its plan.seed (the
+ *    per-run RNG forks from there; see DESIGN.md §3), so a run's
+ *    result does not depend on which thread executes it or when;
+ *  - isolated baselines are memoized in a thread-safe cache keyed by
+ *    (benchmark, replays, config); concurrent first access computes
+ *    the value exactly once;
+ *  - results are collected into a vector indexed by request position,
+ *    never by completion order.
+ */
+
+#ifndef GPUMP_HARNESS_RUNNER_HH
+#define GPUMP_HARNESS_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hh"
+#include "sim/config.hh"
+#include "workload/generator.hh"
+#include "workload/system.hh"
+
+namespace gpump {
+namespace harness {
+
+/** A scheduling scheme: the knobs the paper's figures compare. */
+struct Scheme
+{
+    std::string policy = "fcfs";
+    std::string mechanism = "context_switch";
+    std::string transferPolicy = "fcfs";
+
+    /**
+     * "policy/mechanism" label for reports; the transfer policy is
+     * appended when it is not the default ("fcfs") so that schemes
+     * differing only there do not collide.
+     */
+    std::string label() const;
+};
+
+/** One simulation to run: a workload plan under a scheme. */
+struct RunRequest
+{
+    /** The workload (benchmarks + optional prioritized process). */
+    workload::WorkloadPlan plan;
+    /** The scheduling scheme to run it under. */
+    Scheme scheme;
+    /** Config overrides merged on top of the Runner's base config. */
+    sim::Config overrides;
+    /** Executions each process must complete (Section 4.1). */
+    int minReplays = 3;
+    /** Safety horizon forwarded to System::run. */
+    sim::SimTime limit = sim::maxTime;
+    /** Stable human-readable tag, echoed into the result. */
+    std::string tag;
+    /** Position in the batch.  Suite::build sets it; Runner::run
+     *  overrides every result's index with the actual batch position
+     *  regardless, so hand-built request lists need not fill it. */
+    std::size_t index = 0;
+};
+
+/** Outcome of one request: the full run plus derived metrics. */
+struct RunResult
+{
+    /** @name Request identity, echoed back. @{ */
+    std::size_t index = 0;
+    std::string tag;
+    Scheme scheme;
+    /** @} */
+
+    /** Eyerman-Eeckhout metric set against isolated baselines. */
+    metrics::SystemMetrics metrics;
+    /** Isolated per-process baselines the metrics were computed from. */
+    std::vector<double> isolatedUs;
+    /** Full simulation outcome (turnarounds, counters, run records). */
+    workload::SystemResult sys;
+};
+
+/**
+ * Thread-safe memoized isolated-baseline store.
+ *
+ * The isolated execution time of a benchmark (the denominator of
+ * every Eyerman-Eeckhout metric) depends only on the benchmark, the
+ * replay count and the config, so it is computed once per distinct
+ * key and shared across all runs of a batch.  Concurrent first access
+ * is serialized through a shared_future: exactly one thread computes,
+ * the others wait and observe the same value.
+ */
+class IsolatedBaselineCache
+{
+  public:
+    /**
+     * Isolated execution time of @p benchmark (microseconds): the
+     * application alone on the machine under FCFS with a fixed seed,
+     * mean turnaround over @p minReplays executions.
+     */
+    double timeUs(const std::string &benchmark, const sim::Config &cfg,
+                  int minReplays);
+
+    /** Number of actual computations performed (for tests). */
+    std::uint64_t computations() const
+    {
+        return computations_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<double>> futures_;
+    std::atomic<std::uint64_t> computations_{0};
+};
+
+/**
+ * Executes batches of RunRequests across a thread pool.
+ *
+ * One Runner corresponds to one experiment campaign: it owns the base
+ * config and the isolated-baseline cache shared by every request.
+ */
+class Runner
+{
+  public:
+    /**
+     * Progress callback: invoked after each completed request with
+     * the number of completed requests so far (from an atomic
+     * counter), the batch size and the request that just finished.
+     * Called from worker threads; must be thread-safe.
+     */
+    using ProgressFn = std::function<void(
+        std::size_t done, std::size_t total, const RunRequest &req)>;
+
+    /**
+     * @param base config overrides applied to every simulation.
+     * @param jobs worker threads for run(); 1 = serial (in-thread).
+     */
+    explicit Runner(sim::Config base = sim::Config(), int jobs = 1);
+
+    const sim::Config &baseConfig() const { return base_; }
+
+    /** Worker threads used by run(); clamped to >= 1. */
+    void setJobs(int jobs);
+    int jobs() const { return jobs_; }
+
+    void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
+
+    /**
+     * Execute the whole batch and return results in request order.
+     *
+     * Requests are distributed over the job pool; results are placed
+     * by request position, so the returned vector is bit-identical
+     * for any job count.  A failing request (e.g. sim::FatalError on
+     * a livelocked schedule) aborts the rest of the batch: no new
+     * requests are claimed, and the first exception is rethrown once
+     * all workers have stopped.
+     */
+    std::vector<RunResult> run(const std::vector<RunRequest> &requests);
+
+    /** Execute one request in the calling thread. */
+    RunResult runOne(const RunRequest &request);
+
+    /**
+     * Isolated execution time of @p benchmark under the base config
+     * (see IsolatedBaselineCache::timeUs).  Memoized and thread-safe.
+     */
+    double isolatedTimeUs(const std::string &benchmark,
+                          int minReplays = 3);
+
+    /** The cache shared by every request of this Runner. */
+    IsolatedBaselineCache &baselines() { return baselines_; }
+
+  private:
+    RunResult execute(const RunRequest &request);
+
+    sim::Config base_;
+    int jobs_ = 1;
+    ProgressFn progress_;
+    IsolatedBaselineCache baselines_;
+};
+
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_RUNNER_HH

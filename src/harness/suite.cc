@@ -1,0 +1,196 @@
+#include "harness/suite.hh"
+
+#include <utility>
+
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace harness {
+
+std::size_t
+Batch::indexOf(std::size_t sizeIdx, std::size_t planIdx,
+               std::size_t schemeIdx) const
+{
+    GPUMP_ASSERT(sizeIdx < sizes.size() &&
+                     planIdx < plansBySize[sizeIdx].size() &&
+                     schemeIdx < schemes.size(),
+                 "batch cell (%zu, %zu, %zu) out of range", sizeIdx,
+                 planIdx, schemeIdx);
+    return sizeOffsets_[sizeIdx] + planIdx * schemes.size() + schemeIdx;
+}
+
+Suite::Suite(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Suite &
+Suite::sizes(std::vector<int> s)
+{
+    sizes_ = std::move(s);
+    return *this;
+}
+
+Suite &
+Suite::prioritized(int per_bench, std::uint64_t base_seed)
+{
+    plansFor_ = [per_bench, base_seed](int size) {
+        return workload::makePrioritizedPlans(
+            size, per_bench, base_seed + static_cast<unsigned>(size));
+    };
+    return *this;
+}
+
+Suite &
+Suite::uniform(int count, std::uint64_t base_seed)
+{
+    plansFor_ = [count, base_seed](int size) {
+        return workload::makeUniformPlans(
+            size, count, base_seed + static_cast<unsigned>(size));
+    };
+    return *this;
+}
+
+Suite &
+Suite::fixedPlans(std::vector<workload::WorkloadPlan> plans)
+{
+    int size = plans.empty()
+        ? 0
+        : static_cast<int>(plans.front().benchmarks.size());
+    sizes_ = {size};
+    plansFor_ = [plans = std::move(plans)](int) { return plans; };
+    return *this;
+}
+
+Suite &
+Suite::scheme(std::string name, Scheme s)
+{
+    return scheme(std::move(name), std::move(s), sim::Config());
+}
+
+Suite &
+Suite::scheme(std::string name, Scheme s, sim::Config overrides)
+{
+    SchemeSpec spec;
+    spec.name = std::move(name);
+    spec.scheme = std::move(s);
+    spec.overrides = std::move(overrides);
+    schemes_.push_back(std::move(spec));
+    return *this;
+}
+
+Suite &
+Suite::schemeNonprioritized(std::string name, Scheme s)
+{
+    SchemeSpec spec;
+    spec.name = std::move(name);
+    spec.scheme = std::move(s);
+    spec.dropPriorities = true;
+    schemes_.push_back(std::move(spec));
+    return *this;
+}
+
+Suite &
+Suite::minReplays(int n)
+{
+    minReplays_ = n;
+    return *this;
+}
+
+Suite &
+Suite::limit(sim::SimTime t)
+{
+    limit_ = t;
+    return *this;
+}
+
+Batch
+Suite::build() const
+{
+    GPUMP_ASSERT(plansFor_ != nullptr,
+                 "suite '%s' has no plan source (call prioritized(), "
+                 "uniform() or fixedPlans())",
+                 name_.c_str());
+    GPUMP_ASSERT(!schemes_.empty(), "suite '%s' has no schemes",
+                 name_.c_str());
+
+    Batch batch;
+    batch.name = name_;
+    batch.sizes = sizes_;
+    batch.schemes = schemes_;
+    for (int size : sizes_) {
+        batch.sizeOffsets_.push_back(batch.requests.size());
+        batch.plansBySize.push_back(plansFor_(size));
+        const auto &plans = batch.plansBySize.back();
+        for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+            for (const auto &spec : schemes_) {
+                RunRequest req;
+                req.plan = plans[pi];
+                if (spec.dropPriorities)
+                    req.plan.highPriorityIndex = -1;
+                req.scheme = spec.scheme;
+                req.overrides = spec.overrides;
+                req.minReplays = minReplays_;
+                req.limit = limit_;
+                req.index = batch.requests.size();
+                req.tag = name_ + "/size=" + std::to_string(size) +
+                    "/plan=" + std::to_string(pi) + "/" + spec.name;
+                batch.requests.push_back(std::move(req));
+            }
+        }
+    }
+    return batch;
+}
+
+std::string
+writeResultsJsonl(const std::string &path, const Batch &batch,
+                  const std::vector<RunResult> &results)
+{
+    GPUMP_ASSERT(results.size() == batch.requests.size(),
+                 "writeResultsJsonl: %zu results for %zu requests",
+                 results.size(), batch.requests.size());
+
+    JsonlWriter out(path);
+    for (std::size_t si = 0; si < batch.sizes.size(); ++si) {
+        for (std::size_t pi = 0; pi < batch.numPlans(si); ++pi) {
+            for (std::size_t ci = 0; ci < batch.schemes.size(); ++ci) {
+                std::size_t idx = batch.indexOf(si, pi, ci);
+                const RunRequest &req = batch.requests[idx];
+                const RunResult &r = results[idx];
+                JsonObject o;
+                o.add("suite", batch.name)
+                    .add("index", static_cast<std::int64_t>(idx))
+                    .add("tag", r.tag)
+                    .add("size", static_cast<std::int64_t>(
+                                     batch.sizes[si]))
+                    .add("plan", static_cast<std::int64_t>(pi))
+                    .add("scheme", batch.schemes[ci].name)
+                    .add("label", r.scheme.label())
+                    .add("benchmarks", req.plan.benchmarks)
+                    .add("seed",
+                         sim::strformat("%llu",
+                                        static_cast<unsigned long long>(
+                                            req.plan.seed)))
+                    .add("antt", r.metrics.antt)
+                    .add("stp", r.metrics.stp)
+                    .add("fairness", r.metrics.fairness)
+                    .add("ntt", r.metrics.ntt)
+                    .add("turnaround_us", r.sys.meanTurnaroundUs)
+                    .add("isolated_us", r.isolatedUs)
+                    .add("preemptions", static_cast<std::int64_t>(
+                                            r.sys.preemptions))
+                    .add("kernels_completed",
+                         static_cast<std::int64_t>(
+                             r.sys.kernelsCompleted))
+                    .add("end_time_us",
+                         sim::toMicroseconds(r.sys.endTime));
+                out.write(o);
+            }
+        }
+    }
+    return out.path();
+}
+
+} // namespace harness
+} // namespace gpump

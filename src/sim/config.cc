@@ -110,6 +110,13 @@ Config::getBool(const std::string &key, bool def) const
           key.c_str(), v.c_str());
 }
 
+void
+Config::merge(const Config &overrides)
+{
+    for (const auto &kv : overrides.values_)
+        values_[kv.first] = kv.second;
+}
+
 std::vector<std::string>
 Config::keys() const
 {
@@ -125,6 +132,28 @@ Config::dump(std::ostream &os) const
 {
     for (const auto &kv : values_)
         os << kv.first << " = " << kv.second << "\n";
+}
+
+std::string
+Config::fingerprint() const
+{
+    // Escape the separators so distinct configs can never render to
+    // the same fingerprint (values may contain '=' or ';').
+    auto escape = [](const std::string &s, std::string &out) {
+        for (char c : s) {
+            if (c == '\\' || c == '=' || c == ';')
+                out += '\\';
+            out += c;
+        }
+    };
+    std::string out;
+    for (const auto &kv : values_) {
+        escape(kv.first, out);
+        out += '=';
+        escape(kv.second, out);
+        out += ';';
+    }
+    return out;
 }
 
 } // namespace sim

@@ -62,11 +62,25 @@ class Config
     bool getBool(const std::string &key, bool def) const;
     /** @} */
 
+    /**
+     * Overlay @p overrides on top of this config: every key set in
+     * @p overrides replaces (or adds to) the current value.  Used by
+     * the harness to apply per-request overrides to a base config.
+     */
+    void merge(const Config &overrides);
+
     /** All keys in sorted order (for reproducible dumps). */
     std::vector<std::string> keys() const;
 
     /** Dump as "key = value" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Canonical one-line "k=v;..." rendering of the full config, in
+     * sorted key order.  Equal configs have equal fingerprints, so it
+     * can key caches of config-dependent results.
+     */
+    std::string fingerprint() const;
 
   private:
     std::map<std::string, std::string> values_;

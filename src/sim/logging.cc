@@ -58,6 +58,7 @@ Logger::emit(LogLevel level, const std::string &msg)
 {
     if (!enabled(level))
         return;
+    std::lock_guard<std::mutex> lock(emitMutex_);
     std::fprintf(stderr, "%s%s\n", levelPrefix(level), msg.c_str());
 }
 

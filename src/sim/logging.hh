@@ -19,7 +19,9 @@
 #ifndef GPUMP_SIM_LOGGING_HH
 #define GPUMP_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -62,9 +64,12 @@ std::string strformat(const char *fmt, ...)
 /**
  * Process-wide logger with a verbosity threshold.
  *
- * The logger is deliberately simple: experiments in this repository
- * are single-threaded simulations, and the interesting output goes
- * through the stats package, not the log.
+ * The logger is the one piece of state shared across concurrent
+ * simulation runs (harness::Runner executes independent Systems on a
+ * thread pool), so it must be thread-safe: the level is atomic and
+ * emission is serialized under a mutex so lines from different runs
+ * never interleave.  The interesting output still goes through the
+ * stats package, not the log.
  */
 class Logger
 {
@@ -72,17 +77,24 @@ class Logger
     /** The process-wide logger instance. */
     static Logger &global();
 
-    void setLevel(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     /** True when messages at @p level would be emitted. */
-    bool enabled(LogLevel level) const { return level <= level_; }
+    bool enabled(LogLevel level) const { return level <= this->level(); }
 
     /** Emit one log line (with level prefix) to stderr. */
     void emit(LogLevel level, const std::string &msg);
 
   private:
-    LogLevel level_ = LogLevel::Warn;
+    std::atomic<LogLevel> level_{LogLevel::Warn};
+    std::mutex emitMutex_;
 };
 
 /** Report a non-fatal suspicious condition. */

@@ -80,6 +80,50 @@ TEST(Config, IntParsesHex)
     EXPECT_EQ(c.getInt("h", 0), 16);
 }
 
+TEST(Config, MergeOverlayWins)
+{
+    Config base;
+    base.set("a", static_cast<std::int64_t>(1));
+    base.set("b", static_cast<std::int64_t>(2));
+    Config overlay;
+    overlay.set("b", static_cast<std::int64_t>(20));
+    overlay.set("c", static_cast<std::int64_t>(30));
+
+    base.merge(overlay);
+    EXPECT_EQ(base.getInt("a", 0), 1);
+    EXPECT_EQ(base.getInt("b", 0), 20);
+    EXPECT_EQ(base.getInt("c", 0), 30);
+    // The overlay itself is untouched.
+    EXPECT_FALSE(overlay.has("a"));
+}
+
+TEST(Config, FingerprintCanonical)
+{
+    Config a, b;
+    a.set("zeta", static_cast<std::int64_t>(1));
+    a.set("alpha", std::string("x"));
+    b.set("alpha", std::string("x"));
+    b.set("zeta", static_cast<std::int64_t>(1));
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.fingerprint(), "alpha=x;zeta=1;");
+    EXPECT_EQ(Config().fingerprint(), "");
+
+    b.set("zeta", static_cast<std::int64_t>(2));
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Config, FingerprintEscapesSeparators)
+{
+    // {"a": "1;b=2"} must not collide with {"a": "1", "b": "2"}.
+    Config tricky;
+    tricky.set("a", std::string("1;b=2"));
+    Config plain;
+    plain.set("a", std::string("1"));
+    plain.set("b", std::string("2"));
+    EXPECT_NE(tricky.fingerprint(), plain.fingerprint());
+    EXPECT_EQ(tricky.fingerprint(), "a=1\\;b\\=2;");
+}
+
 TEST(Config, KeysSortedAndDump)
 {
     Config c;

@@ -37,6 +37,18 @@ TEST(Args, FlagTypeValidation)
     Args args(2, const_cast<char **>(argv));
     EXPECT_THROW(args.flagInt("n", 0), sim::FatalError);
     EXPECT_THROW(args.flagDouble("n", 0), sim::FatalError);
+    EXPECT_THROW(args.flagIntList("n", {}), sim::FatalError);
+}
+
+TEST(Args, FlagIntList)
+{
+    const char *argv[] = {"prog", "--sizes=2,4,8", "--one=6"};
+    Args args(3, const_cast<char **>(argv));
+    EXPECT_EQ(args.flagIntList("sizes", {}),
+              (std::vector<int>{2, 4, 8}));
+    EXPECT_EQ(args.flagIntList("one", {}), (std::vector<int>{6}));
+    EXPECT_EQ(args.flagIntList("missing", {1, 2}),
+              (std::vector<int>{1, 2}));
 }
 
 TEST(Report, TableAlignsAndCsvEscapesNothing)
@@ -72,6 +84,34 @@ TEST(Report, Formatting)
     EXPECT_EQ(fmtTimes(2.5), "2.50x");
 }
 
+TEST(Report, JsonObjectRendering)
+{
+    JsonObject o;
+    o.add("name", "al\"pha\n")
+        .add("x", 1.5)
+        .add("n", static_cast<std::int64_t>(-3))
+        .add("ok", true)
+        .add("v", std::vector<double>{1.0, 2.5})
+        .add("s", std::vector<std::string>{"a", "b"});
+    EXPECT_EQ(o.str(),
+              "{\"name\":\"al\\\"pha\\n\",\"x\":1.5,\"n\":-3,"
+              "\"ok\":true,\"v\":[1,2.5],\"s\":[\"a\",\"b\"]}");
+}
+
+TEST(Report, TableJsonlKeyedByHeaders)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator(); // separators are omitted from JSONL
+    t.addRow({"beta", "2.50"});
+
+    std::ostringstream os;
+    t.printJsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"alpha\",\"value\":\"1\"}\n"
+              "{\"name\":\"beta\",\"value\":\"2.50\"}\n");
+}
+
 TEST(Experiment, IsolatedTimesCachedAndPositive)
 {
     Experiment exp;
@@ -90,6 +130,20 @@ TEST(Experiment, SchemeLabels)
     s.policy = "dss";
     s.mechanism = "draining";
     EXPECT_EQ(s.label(), "dss/draining");
+}
+
+TEST(Experiment, SchemeLabelIncludesNonDefaultTransferPolicy)
+{
+    // Two schemes differing only in transfer policy must not collide.
+    Scheme fcfs_xfer{"ppq_excl", "context_switch", "fcfs"};
+    Scheme prio_xfer{"ppq_excl", "context_switch", "priority"};
+    EXPECT_EQ(fcfs_xfer.label(), "ppq_excl/context_switch");
+    EXPECT_EQ(prio_xfer.label(),
+              "ppq_excl/context_switch/priority-xfer");
+    EXPECT_NE(fcfs_xfer.label(), prio_xfer.label());
+
+    Scheme npq{"npq", "context_switch", "priority"};
+    EXPECT_EQ(npq.label(), "npq/priority-xfer");
 }
 
 TEST(Experiment, RunProducesConsistentMetrics)
