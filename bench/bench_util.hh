@@ -150,15 +150,18 @@ groupName(int idx)
  * `done` comes from the Runner's atomic completion counter (runs
  * finish out of order under --jobs), and each update is a single
  * fprintf so concurrent lines never interleave.  stderr only: stdout
- * stays machine-clean.
+ * stays machine-clean.  Each line carries the finished run's
+ * simulator throughput so perf regressions show up mid-campaign.
  */
 inline harness::Runner::ProgressFn
 progressMeter(std::string what)
 {
     return [what = std::move(what)](std::size_t done, std::size_t total,
-                                    const harness::RunRequest &req) {
-        std::fprintf(stderr, "[%s] %zu/%zu done (%s)\n", what.c_str(),
-                     done, total, req.tag.c_str());
+                                    const harness::RunRequest &req,
+                                    const harness::RunResult &res) {
+        std::fprintf(stderr, "[%s] %zu/%zu done (%s) %.2fM ev/s\n",
+                     what.c_str(), done, total, req.tag.c_str(),
+                     res.eventsPerSec() / 1e6);
     };
 }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark the simulator core and record the numbers.
+#
+# Builds the Release configuration (the perf numbers are meaningless
+# under Debug/sanitizers), runs the Google-Benchmark micro suite's
+# event-core and end-to-end cases, and writes the JSON results to
+# BENCH_simcore.json at the repo root so the perf trajectory is
+# tracked in-tree from PR to PR.  Compare against the committed
+# baseline before and after touching sim/, gpu/ or core/ hot paths.
+#
+# Usage: scripts/bench_simcore.sh [output.json]
+#   BUILD_DIR  build directory (default: build-bench, Release)
+#   FILTER     benchmark_filter regex (default: the simcore set)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${1:-BENCH_simcore.json}
+FILTER=${FILTER:-'BM_EventQueueScheduleRun|BM_EventQueueCancelHalf|BM_IsolatedRun|BM_MultiprogrammedDssRun'}
+JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DGPUMP_BUILD_TESTS=OFF -DGPUMP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro_simcore \
+    2>/dev/null || {
+    echo "error: bench_micro_simcore did not build — is Google" \
+        "Benchmark (libbenchmark-dev) installed?" >&2
+    exit 1
+}
+
+"$BUILD_DIR/bench/bench_micro_simcore" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_repetitions="${REPS:-3}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$OUT"
+
+# Human-readable digest next to the raw JSON.
+python3 - "$OUT" << 'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+ctx = data.get("context", {})
+print(f"host: {ctx.get('host_name', '?')}  "
+      f"cpus: {ctx.get('num_cpus', '?')}  date: {ctx.get('date', '?')}")
+for b in data.get("benchmarks", []):
+    if not b["name"].endswith("_median"):
+        continue
+    name = b["name"].removesuffix("_median")
+    ips = b.get("items_per_second")
+    rate = f"{ips / 1e6:8.2f}M items/s" if ips else f"{b['real_time']:10.0f} {b['time_unit']}"
+    print(f"  {name:40s} {rate}")
+EOF
+echo "wrote $OUT"

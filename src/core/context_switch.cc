@@ -1,5 +1,6 @@
 #include "core/context_switch.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/framework.hh"
@@ -19,14 +20,22 @@ ContextSwitchMechanism::beginPreemption(gpu::Sm *sm)
     gpu::KernelExec *k = sm->kernel;
     sm->state = gpu::Sm::State::Saving;
 
-    // Halt every resident thread block: revoke its completion event
-    // and capture how much execution it still needs.  The blocks
-    // reach the PTBQ only once the save finishes, so they cannot be
-    // re-issued while their context is still in flight.
+    // Halt every resident thread block: disarm the SM's completion
+    // timeline (one event covers them all) and capture how much
+    // execution each block still needs.  The blocks reach the PTBQ
+    // only once the save finishes, so they cannot be re-issued while
+    // their context is still in flight.  The timeline keeps residents
+    // in completion order; the trap routine stores (and the PTBQ
+    // receives) them in issue order, so re-sort by issue sequence.
+    sm->completionEvent.cancel();
+    std::vector<gpu::ResidentTb> halted(sm->resident);
+    std::sort(halted.begin(), halted.end(),
+              [](const gpu::ResidentTb &a, const gpu::ResidentTb &b) {
+                  return a.seq < b.seq;
+              });
     std::vector<gpu::PreemptedTb> saved;
-    saved.reserve(sm->resident.size());
-    for (auto &tb : sm->resident) {
-        tb.completion.cancel();
+    saved.reserve(halted.size());
+    for (const auto &tb : halted) {
         sim::SimTime remaining = tb.endAt - fw_->sim().now();
         GPUMP_ASSERT(remaining >= 0, "resident TB already past its end");
         saved.push_back(gpu::PreemptedTb{tb.tbIndex, remaining});

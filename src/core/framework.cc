@@ -207,6 +207,9 @@ SchedulingFramework::assignSm(gpu::Sm *sm, gpu::KernelExec *k)
     sm->kernel = k;
     sm->state = gpu::Sm::State::Setup;
     ++k->smsHeld;
+    // The SM will fill up to the kernel's occupancy; grab the timeline
+    // capacity once instead of growing it TB by TB.
+    sm->resident.reserve(static_cast<std::size_t>(k->occupancy()));
 
     sim::SimTime latency = params_.smSetupLatency;
     if (sm->loadedContext != k->ctx()) {
@@ -268,15 +271,16 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
             tb_index = k->takeFreshTb();
             duration = sampleTbDuration(*k);
         }
-        sim::SimTime end_at = sim_->now() + duration;
         gpu::ResidentTb tb;
         tb.tbIndex = tb_index;
         tb.startedAt = sim_->now();
-        tb.endAt = end_at;
-        tb.completion = sim_->events().schedule(
-            end_at, [this, sm, tb_index] { onTbCompleted(sm, tb_index); },
-            sim::prioCompletion);
-        sm->resident.push_back(tb);
+        tb.endAt = sim_->now() + duration;
+        // Reserve the FIFO sequence the old one-event-per-TB design
+        // would have consumed here; the timeline event is armed with
+        // it, so same-instant completions still interleave across SMs
+        // in issue order.
+        tb.seq = sim_->events().reserveSeq();
+        sm->insertResident(tb);
         k->tbStarted();
         if (!k->startedIssuing) {
             k->startedIssuing = true;
@@ -284,6 +288,7 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
                 observer_->kernelStarted(*k);
         }
     }
+    armCompletion(sm);
 
     if (sm->resident.empty()) {
         // Assigned but the kernel's work evaporated (issued elsewhere
@@ -293,20 +298,35 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
 }
 
 void
-SchedulingFramework::onTbCompleted(gpu::Sm *sm, int tb_index)
+SchedulingFramework::armCompletion(gpu::Sm *sm)
+{
+    if (sm->resident.empty()) {
+        sm->completionEvent.cancel();
+        return;
+    }
+    const gpu::ResidentTb &head = sm->resident.front();
+    if (sm->completionEvent.pending() && sm->armedSeq == head.seq)
+        return; // already armed for the right block
+    sm->completionEvent.cancel();
+    sm->armedSeq = head.seq;
+    sm->completionEvent = sim_->events().scheduleWithSeq(
+        head.endAt, head.seq, [this, sm] { onTbCompleted(sm); },
+        sim::prioCompletion);
+}
+
+void
+SchedulingFramework::onTbCompleted(gpu::Sm *sm)
 {
     gpu::KernelExec *k = sm->kernel;
     GPUMP_ASSERT(k != nullptr, "TB completion on kernel-less SM %d",
                  sm->id());
-
-    auto it = std::find_if(sm->resident.begin(), sm->resident.end(),
-                           [tb_index](const gpu::ResidentTb &tb) {
-                               return tb.tbIndex == tb_index;
-                           });
-    GPUMP_ASSERT(it != sm->resident.end(),
-                 "completion for TB %d not resident on SM %d", tb_index,
+    GPUMP_ASSERT(!sm->resident.empty(),
+                 "completion fired on SM %d with empty timeline",
                  sm->id());
-    sm->resident.erase(it);
+
+    // The armed event always tracks the timeline head: completion is
+    // a pop, not a search.
+    sm->resident.erase(sm->resident.begin());
     k->tbEnded(true);
     ++tbsCompleted_;
 
@@ -327,6 +347,11 @@ SchedulingFramework::onTbCompleted(gpu::Sm *sm, int tb_index)
         if (sm->kernel == k && sm->resident.empty())
             smBecameIdle(sm);
     }
+
+    // Re-arm for whatever is now at the head of the timeline (no-op
+    // when issueThreadBlocks already armed it, or when the SM emptied
+    // and was handed back).
+    armCompletion(sm);
 
     if (kernel_done)
         finalizeKernel(k);

@@ -195,7 +195,12 @@ class SchedulingFramework : public gpu::KernelSink
 
   private:
     void finishSetup(gpu::Sm *sm);
-    void onTbCompleted(gpu::Sm *sm, int tb_index);
+    void onTbCompleted(gpu::Sm *sm);
+    /** (Re)arm @p sm's single completion event for the head of its
+     *  timeline; disarms when nothing is resident.  The event carries
+     *  the head TB's issue-time sequence number, so firing order is
+     *  identical to one-event-per-TB scheduling. */
+    void armCompletion(gpu::Sm *sm);
     void smBecameIdle(gpu::Sm *sm);
     void finalizeKernel(gpu::KernelExec *k);
     sim::SimTime sampleTbDuration(const gpu::KernelExec &k);

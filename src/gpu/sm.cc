@@ -1,5 +1,7 @@
 #include "gpu/sm.hh"
 
+#include <algorithm>
+
 #include "gpu/kernel_exec.hh"
 #include "sim/logging.hh"
 
@@ -30,16 +32,32 @@ Sm::freeSlots() const
 }
 
 void
+Sm::insertResident(const ResidentTb &tb)
+{
+    auto pos = std::upper_bound(
+        resident.begin(), resident.end(), tb,
+        [](const ResidentTb &a, const ResidentTb &b) {
+            if (a.endAt != b.endAt)
+                return a.endAt < b.endAt;
+            return a.seq < b.seq;
+        });
+    resident.insert(pos, tb);
+}
+
+void
 Sm::clearKernel()
 {
     GPUMP_ASSERT(resident.empty(),
                  "SM %d cleared with %zu resident TBs", id_,
                  resident.size());
+    GPUMP_ASSERT(!completionEvent.pending(),
+                 "SM %d cleared with an armed completion event", id_);
     kernel = nullptr;
     nextKernel = nullptr;
     reserved = false;
     state = State::Idle;
     pendingEvent = sim::EventQueue::Handle();
+    completionEvent = sim::EventQueue::Handle();
 }
 
 const char *

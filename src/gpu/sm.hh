@@ -19,6 +19,7 @@
 #ifndef GPUMP_GPU_SM_HH
 #define GPUMP_GPU_SM_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "memory/page_table.hh"
@@ -30,17 +31,26 @@ namespace gpu {
 
 class KernelExec;
 
-/** One thread block resident on an SM. */
+/**
+ * One thread block resident on an SM.
+ *
+ * Resident TBs do not own individual completion events: the SM keeps
+ * them ordered by (endAt, seq) and arms exactly one event for the
+ * earliest (the per-SM completion timeline), so the global event
+ * queue holds O(SMs) completion events instead of O(resident TBs).
+ */
 struct ResidentTb
 {
     /** Thread block index within its kernel's grid. */
     int tbIndex;
     /** When execution (including any restore prefix) began. */
     sim::SimTime startedAt;
-    /** When the completion event will fire if not preempted. */
+    /** When the block completes if not preempted. */
     sim::SimTime endAt;
-    /** The completion event (cancelled on context-switch preemption). */
-    sim::EventQueue::Handle completion;
+    /** FIFO sequence reserved at issue; the tie-break key that keeps
+     *  same-instant completions firing in issue order across SMs,
+     *  exactly as when every TB owned its own event. */
+    std::uint64_t seq;
 };
 
 /** One streaming multiprocessor. */
@@ -78,10 +88,22 @@ class Sm
     KernelExec *nextKernel = nullptr;
     /** SMST reserved bit. */
     bool reserved = false;
-    /** Thread blocks resident right now. */
+    /** Thread blocks resident right now, ordered by (endAt, seq);
+     *  the front one is the next to complete. */
     std::vector<ResidentTb> resident;
     /** Pending setup / save-completion event. */
     sim::EventQueue::Handle pendingEvent;
+    /** The single armed completion event of the timeline (fires for
+     *  resident.front(); cancelled on context-switch preemption). */
+    sim::EventQueue::Handle completionEvent;
+    /** Sequence number completionEvent is armed with (meaningful only
+     *  while completionEvent is pending). */
+    std::uint64_t armedSeq = 0;
+
+    /** Insert an issued TB into the timeline, keeping (endAt, seq)
+     *  order.  Occupancy is small (<= a few tens), so ordered insert
+     *  beats a heap. */
+    void insertResident(const ResidentTb &tb);
     /** Context whose state (context id register, base page table
      *  register, TLB) is loaded; persists across kernels of the same
      *  context so back-to-back launches avoid the reload cost. */

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -101,7 +102,12 @@ Runner::execute(const RunRequest &request)
     out.index = request.index;
     out.tag = request.tag;
     out.scheme = request.scheme;
+    auto t0 = std::chrono::steady_clock::now();
     out.sys = system.run(request.limit);
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     out.isolatedUs.reserve(request.plan.benchmarks.size());
     for (const auto &b : request.plan.benchmarks)
         out.isolatedUs.push_back(
@@ -160,7 +166,7 @@ Runner::run(const std::vector<RunRequest> &requests)
                                            std::memory_order_relaxed) +
                 1;
             if (progress_)
-                progress_(d, requests.size(), requests[i]);
+                progress_(d, requests.size(), requests[i], results[i]);
         }
     };
 

@@ -93,6 +93,24 @@ struct RunResult
     std::vector<double> isolatedUs;
     /** Full simulation outcome (turnarounds, counters, run records). */
     workload::SystemResult sys;
+
+    /** @name Simulator throughput telemetry
+     * Wall-clock cost of the run and the resulting simulation rate.
+     * Host-dependent by nature, so excluded from the determinism
+     * contract (and from bit-identity comparisons); everything else
+     * in a RunResult is a pure function of the request.
+     * @{ */
+    /** Wall-clock seconds Runner::execute spent in System::run. */
+    double wallSeconds = 0.0;
+    /** Simulator throughput over sys.eventsExecuted; 0 when the run
+     *  took no measurable time. */
+    double eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(sys.eventsExecuted) / wallSeconds
+            : 0.0;
+    }
+    /** @} */
 };
 
 /**
@@ -140,11 +158,13 @@ class Runner
     /**
      * Progress callback: invoked after each completed request with
      * the number of completed requests so far (from an atomic
-     * counter), the batch size and the request that just finished.
-     * Called from worker threads; must be thread-safe.
+     * counter), the batch size, the request that just finished and
+     * its result (e.g. for throughput reporting).  Called from
+     * worker threads; must be thread-safe.
      */
     using ProgressFn = std::function<void(
-        std::size_t done, std::size_t total, const RunRequest &req)>;
+        std::size_t done, std::size_t total, const RunRequest &req,
+        const RunResult &res)>;
 
     /**
      * @param base config overrides applied to every simulation.

@@ -184,7 +184,11 @@ writeResultsJsonl(const std::string &path, const Batch &batch,
                          static_cast<std::int64_t>(
                              r.sys.kernelsCompleted))
                     .add("end_time_us",
-                         sim::toMicroseconds(r.sys.endTime));
+                         sim::toMicroseconds(r.sys.endTime))
+                    .add("events_executed",
+                         static_cast<std::int64_t>(r.sys.eventsExecuted))
+                    .add("wall_seconds", r.wallSeconds)
+                    .add("events_per_sec", r.eventsPerSec());
                 out.write(o);
             }
         }

@@ -1,5 +1,6 @@
 #include "sim/event.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,67 +8,227 @@
 namespace gpump {
 namespace sim {
 
-/**
- * Shared cancellation record.  The callback lives here so that
- * cancelling an event also releases whatever the callback captured.
- * The record shares the queue's live-event counter so cancellation
- * can maintain it without holding a pointer back to the queue.
- */
-struct EventQueue::Handle::Record
-{
-    EventQueue::Callback callback;
-    std::shared_ptr<std::size_t> live;
-    bool cancelled = false;
-    bool done = false;
-};
+namespace {
 
-bool
-EventQueue::Handle::pending() const
-{
-    return rec_ && !rec_->cancelled && !rec_->done;
-}
+/** Compaction only pays off once the queue is big enough to matter. */
+constexpr std::size_t compactionMinEntries = 64;
 
-bool
-EventQueue::Handle::cancel()
-{
-    if (!pending())
-        return false;
-    rec_->cancelled = true;
-    rec_->callback = nullptr;
-    --*rec_->live;
-    return true;
-}
+/** Smallest refill chunk. */
+constexpr std::size_t refillMin = 32;
 
-bool
-EventQueue::EntryOrder::operator()(const Entry &a, const Entry &b) const
-{
-    // std::priority_queue is a max-heap; invert to pop the smallest.
-    if (a.when != b.when)
-        return a.when > b.when;
-    if (a.priority != b.priority)
-        return a.priority > b.priority;
-    return a.seq > b.seq;
-}
+/** Up to this many future entries the refill takes everything in one
+ *  sort, skipping the selection passes; typical simulator runs hold
+ *  a few dozen live events and always hit this path. */
+constexpr std::size_t smallQueue = 1024;
+
+/** Sorted-insert ceiling for the bottom: beyond this many pending
+ *  entries the upper half is spilled back to the future, keeping the
+ *  memmove cost of below-boundary scheduling bounded. */
+constexpr std::size_t spillLimit = 256;
+
+constexpr std::uint64_t maxKey = ~0ull;
+
+/** Initial capacity of the slab and both tiers: growing a vector of
+ *  live slots relocates every callback, so start big enough that
+ *  typical runs never pay it. */
+constexpr std::size_t initialCapacity = 128;
+
+} // namespace
 
 EventQueue::EventQueue()
-    : live_(std::make_shared<std::size_t>(0))
 {
+    slots_.reserve(initialCapacity);
+    bottom_.reserve(initialCapacity);
+    future_.reserve(initialCapacity);
+}
+
+std::uint32_t
+EventQueue::acquireSlot(Callback &&cb)
+{
+    std::uint32_t slot;
+    if (freeHead_ != noSlot) {
+        slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+    } else {
+        GPUMP_ASSERT(slots_.size() < noSlot, "event slot slab exhausted");
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[slot].callback = std::move(cb);
+    return slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    slots_[slot].nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::cancelSlot(std::uint32_t slot)
+{
+    // Invalidate the entry (and all handles) by bumping the
+    // generation, and release the captures right away.  The slot is
+    // recycled when its dead entry is popped over or compacted out.
+    ++slots_[slot].gen;
+    slots_[slot].callback = nullptr;
+    ++deadEntries_;
+    compactIfWorthIt();
+}
+
+void
+EventQueue::compactIfWorthIt()
+{
+    // Sweep dead entries once they outnumber the live ones; otherwise
+    // a cancelled far-future event would occupy the queue until its
+    // timestamp came up, which for workloads that cancel most of what
+    // they schedule (preemption-heavy runs) means unbounded growth.
+    if (heapEntries() < compactionMinEntries ||
+        deadEntries_ * 2 <= heapEntries())
+        return;
+    // Drop the consumed prefix first so only inspectable entries
+    // remain, then filter both tiers.  remove_if keeps the relative
+    // order, so the bottom stays sorted.
+    bottom_.erase(bottom_.begin(),
+                  bottom_.begin() +
+                      static_cast<std::ptrdiff_t>(bottomPos_));
+    bottomPos_ = 0;
+    auto sweep = [this](std::vector<Entry> &entries) {
+        auto live_end = std::remove_if(
+            entries.begin(), entries.end(), [this](const Entry &e) {
+                if (!entryDead(e))
+                    return false;
+                releaseSlot(e.slot);
+                return true;
+            });
+        entries.erase(live_end, entries.end());
+    };
+    sweep(bottom_);
+    sweep(future_);
+    deadEntries_ = 0;
+}
+
+void
+EventQueue::insertEntry(const Entry &e)
+{
+    if (!keyBefore(e.keyHi, e.keyLo, boundaryHi_, boundaryLo_)) {
+        future_.push_back(e);
+        return;
+    }
+    auto pos = std::upper_bound(
+        bottom_.begin() + static_cast<std::ptrdiff_t>(bottomPos_),
+        bottom_.end(), e, FiresBefore());
+    bottom_.insert(pos, e);
+    if (bottom_.size() - bottomPos_ > spillLimit)
+        spillBottom();
+}
+
+void
+EventQueue::spillBottom()
+{
+    // Keep the near half sorted, hand the far half back to the future
+    // and tighten the boundary to the spill point.
+    std::size_t pending = bottom_.size() - bottomPos_;
+    auto mid = bottom_.begin() +
+        static_cast<std::ptrdiff_t>(bottomPos_ + pending / 2);
+    boundaryHi_ = mid->keyHi;
+    boundaryLo_ = mid->keyLo;
+    future_.insert(future_.end(), mid, bottom_.end());
+    bottom_.erase(mid, bottom_.end());
+}
+
+void
+EventQueue::refillBottom()
+{
+    // Move the smallest chunk of the future into the bottom.  Taking
+    // an eighth amortizes the O(n) selection to a constant number of
+    // comparisons per event while keeping the bottom small enough
+    // that below-boundary sorted inserts stay cheap.
+    std::size_t n = future_.size();
+    std::size_t take = n <= smallQueue ? n : std::max(refillMin, n / 8);
+    if (take < n) {
+        std::nth_element(future_.begin(),
+                         future_.begin() +
+                             static_cast<std::ptrdiff_t>(take),
+                         future_.end(), FiresBefore());
+        boundaryHi_ = future_[take].keyHi;
+        boundaryLo_ = future_[take].keyLo;
+    } else {
+        boundaryHi_ = maxKey;
+        boundaryLo_ = maxKey;
+    }
+    bottom_.assign(future_.begin(),
+                   future_.begin() + static_cast<std::ptrdiff_t>(take));
+    future_.erase(future_.begin(),
+                  future_.begin() + static_cast<std::ptrdiff_t>(take));
+    std::sort(bottom_.begin(), bottom_.end(), FiresBefore());
+    bottomPos_ = 0;
+}
+
+const EventQueue::Entry *
+EventQueue::peekFront()
+{
+    for (;;) {
+        if (bottomPos_ < bottom_.size()) {
+            const Entry &e = bottom_[bottomPos_];
+            if (!entryDead(e))
+                return &e;
+            releaseSlot(e.slot);
+            ++bottomPos_;
+            --deadEntries_;
+            continue;
+        }
+        bottom_.clear();
+        bottomPos_ = 0;
+        if (future_.empty()) {
+            // Drained: subsequent schedules sorted-insert into the
+            // bottom directly (and spill if they pile up).
+            boundaryHi_ = maxKey;
+            boundaryLo_ = maxKey;
+            return nullptr;
+        }
+        refillBottom();
+    }
 }
 
 EventQueue::Handle
 EventQueue::schedule(SimTime when, Callback cb, int priority)
 {
+    return doSchedule(when, seq_++, std::move(cb), priority);
+}
+
+EventQueue::Handle
+EventQueue::scheduleWithSeq(SimTime when, std::uint64_t seq, Callback cb,
+                            int priority)
+{
+    GPUMP_ASSERT(seq < seq_, "sequence %llu was never reserved",
+                 static_cast<unsigned long long>(seq));
+    return doSchedule(when, seq, std::move(cb), priority);
+}
+
+EventQueue::Handle
+EventQueue::doSchedule(SimTime when, std::uint64_t seq, Callback &&cb,
+                       int priority)
+{
     GPUMP_ASSERT(when >= now_,
                  "event scheduled in the past (when=%lld now=%lld)",
                  static_cast<long long>(when), static_cast<long long>(now_));
     GPUMP_ASSERT(cb != nullptr, "event scheduled with null callback");
+    GPUMP_ASSERT(priority >= -priorityBias && priority < priorityBias,
+                 "event priority %d outside the 16-bit key range",
+                 priority);
+    GPUMP_ASSERT(seq <= maxSeq, "sequence space exhausted");
 
-    auto rec = std::make_shared<Handle::Record>();
-    rec->callback = std::move(cb);
-    rec->live = live_;
-    heap_.push(Entry{when, priority, seq_++, rec});
-    ++*live_;
-    return Handle(std::move(rec));
+    std::uint32_t slot = acquireSlot(std::move(cb));
+    std::uint32_t gen = slots_[slot].gen;
+    std::uint64_t key_lo =
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(priority + priorityBias))
+         << 48) |
+        seq;
+    insertEntry(Entry{static_cast<std::uint64_t>(when), key_lo, slot, gen});
+    return Handle(this, slot, gen);
 }
 
 EventQueue::Handle
@@ -81,34 +242,28 @@ EventQueue::scheduleIn(SimTime delay, Callback cb, int priority)
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        Entry top = heap_.top();
-        heap_.pop();
-        if (top.rec->cancelled)
-            continue; // live counter already adjusted by cancel()
-        now_ = top.when;
-        top.rec->done = true;
-        --*live_;
-        ++executed_;
-        Callback cb = std::move(top.rec->callback);
-        top.rec->callback = nullptr;
-        cb();
-        return true;
-    }
-    return false;
+    const Entry *front = peekFront();
+    if (front == nullptr)
+        return false;
+    const Entry top = *front;
+    ++bottomPos_; // consume before the callback can mutate the queue
+    now_ = top.when();
+    ++slots_[top.slot].gen; // the event is no longer pending
+    Callback cb = std::move(slots_[top.slot].callback);
+    releaseSlot(top.slot);
+    ++executed_;
+    cb();
+    return true;
 }
 
 SimTime
 EventQueue::run(SimTime limit)
 {
-    while (!heap_.empty()) {
-        // Drop cancelled entries without advancing time.
-        if (heap_.top().rec->cancelled) {
-            heap_.pop();
-            continue;
-        }
-        if (heap_.top().when > limit)
+    for (;;) {
+        const Entry *front = peekFront();
+        if (front == nullptr || front->when() > limit)
             break;
+        // step()'s re-peek is O(1): the front was just validated.
         step();
     }
     return now_;

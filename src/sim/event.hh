@@ -6,19 +6,32 @@
  * Determinism guarantees:
  *  - events fire in nondecreasing time order;
  *  - events at the same time fire in ascending priority value;
- *  - events with equal (time, priority) fire in scheduling order.
+ *  - events with equal (time, priority) fire in ascending sequence
+ *    number (scheduling order, unless the caller reserved a sequence
+ *    number explicitly — see reserveSeq / scheduleWithSeq).
  *
  * Cancellation is first-class because preemption must revoke the
  * completion events of thread blocks that are context-switched out.
+ *
+ * The engine is allocation-free on the hot path: callbacks live in a
+ * small-buffer-optimized storage (no heap for captures up to
+ * EventCallback::inlineBytes), event state lives in a slab of
+ * recycled slots, and queue entries are POD.  Handles are
+ * generation-counted (slot index, generation) pairs, so a stale
+ * handle — one whose event already ran, was cancelled, or whose slot
+ * was since recycled — stays safe to query or cancel without any
+ * reference counting.  Unlike the previous shared_ptr-based design,
+ * a Handle must not be used after its EventQueue is destroyed.
  */
 
 #ifndef GPUMP_SIM_EVENT_HH
 #define GPUMP_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -42,20 +55,183 @@ enum EventPriority : int
 };
 
 /**
- * Deterministic event queue with O(log n) schedule/pop and lazy
- * cancellation.
+ * Move-only `void()` callable with small-buffer optimization.
+ *
+ * Every event callback in the simulator captures a handful of
+ * pointers (and occasionally one small vector); those are stored
+ * inline, so scheduling an event performs no heap allocation.
+ * Larger or alignment-exotic callables fall back to the heap
+ * transparently.
+ */
+class EventCallback
+{
+  public:
+    /** Inline capacity: two pointers' worth of captures — what the
+     *  simulator's hot-path callbacks (completion, setup, driver)
+     *  actually carry.  Rarer, fatter captures (a transfer command's
+     *  shared_ptr, a preemption's saved-TB vector) take the heap
+     *  fallback; with a 16-byte buffer the whole callback is 24
+     *  bytes and an event slot packs two to a cache line. */
+    static constexpr std::size_t inlineBytes = 16;
+    /** Captures are pointer-aligned; anything stricter goes to the
+     *  heap fallback. */
+    static constexpr std::size_t inlineAlign = 8;
+
+    EventCallback() noexcept = default;
+    EventCallback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback &operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    friend bool operator==(const EventCallback &f, std::nullptr_t) noexcept
+    {
+        return f.ops_ == nullptr;
+    }
+    friend bool operator!=(const EventCallback &f, std::nullptr_t) noexcept
+    {
+        return f.ops_ != nullptr;
+    }
+
+    /** Invoke the target.  @pre non-null. */
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    /**
+     * Dispatch table.  relocate == nullptr marks a target that is
+     * relocated by plain memcpy (trivially-copyable captures — the
+     * overwhelmingly common case — and the heap fallback's raw
+     * pointer), which keeps moves free of indirect calls; destroy ==
+     * nullptr marks a target whose destruction is a no-op.
+     */
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move the target from @p src storage into @p dst storage and
+         *  destroy the source; nullptr = memcpy suffices. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *storage); ///< nullptr = no-op
+    };
+
+    template <typename Fn>
+    static constexpr bool fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes && alignof(Fn) <= inlineAlign &&
+            std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*static_cast<Fn *>(s))(); },
+        std::is_trivially_copyable_v<Fn>
+            ? nullptr
+            : +[](void *dst, void *src) {
+                  ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                  static_cast<Fn *>(src)->~Fn();
+              },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void *s) { static_cast<Fn *>(s)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**static_cast<Fn **>(s))(); },
+        nullptr, // the stored pointer relocates by memcpy
+        [](void *s) { delete *static_cast<Fn **>(s); },
+    };
+
+    void reset() noexcept
+    {
+        if (ops_) {
+            if (ops_->destroy)
+                ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    void moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            if (ops_->relocate)
+                ops_->relocate(buf_, other.buf_);
+            else
+                __builtin_memcpy(buf_, other.buf_, inlineBytes);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(inlineAlign) unsigned char buf_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * Deterministic event queue with O(1) cancellation, amortized
+ * O(log n) ordering work per event and bounded dead-entry overhead.
+ *
+ * Internals (see DESIGN.md §5): event callbacks live in a slab of
+ * generation-counted slots recycled through a free list; the
+ * priority structure holds 24-byte POD entries referencing slots by
+ * index.  Instead of a binary heap, entries sit in two tiers — a
+ * small sorted "bottom" array popped by index bump and an unsorted
+ * "future" buffer refilled from in sorted chunks — trading the
+ * pointer-chasing sift loops for sequential selection and sort
+ * passes.  Cancellation bumps the slot's generation (invalidating
+ * the entry and every outstanding handle); dead entries are skipped
+ * when reached, or swept eagerly when they come to outnumber live
+ * ones.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /**
      * Handle to a scheduled event; allows cancellation.
      *
-     * Handles are cheap to copy; a default-constructed handle is
-     * inert.  A handle may outlive the queue: it keeps only the shared
-     * cancellation record alive.
+     * Handles are two machine words and cheap to copy.  A
+     * default-constructed handle is inert.  A handle whose event has
+     * run or been cancelled — even if its slot has since been reused
+     * for another event — answers pending() == false and refuses to
+     * cancel().  Handles must not outlive the queue.
      */
     class Handle
     {
@@ -63,20 +239,34 @@ class EventQueue
         Handle() = default;
 
         /** True if the event is still scheduled (not run or cancelled). */
-        bool pending() const;
+        bool pending() const
+        {
+            return queue_ != nullptr && queue_->slotLive(slot_, gen_);
+        }
 
         /**
          * Cancel the event if still pending.
          * @return true if this call cancelled it, false if it had
          *         already run or been cancelled.
          */
-        bool cancel();
+        bool cancel()
+        {
+            if (!pending())
+                return false;
+            queue_->cancelSlot(slot_);
+            return true;
+        }
 
       private:
         friend class EventQueue;
-        struct Record;
-        explicit Handle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
-        std::shared_ptr<Record> rec_;
+        Handle(EventQueue *queue, std::uint32_t slot, std::uint32_t gen)
+            : queue_(queue), slot_(slot), gen_(gen)
+        {
+        }
+
+        EventQueue *queue_ = nullptr;
+        std::uint32_t slot_ = 0;
+        std::uint32_t gen_ = 0;
     };
 
     EventQueue();
@@ -95,11 +285,31 @@ class EventQueue
     /** Schedule @p cb to run @p delay after now. @pre delay >= 0 */
     Handle scheduleIn(SimTime delay, Callback cb, int priority = prioDefault);
 
-    /** Number of live (non-cancelled, not yet run) events. */
-    std::size_t pending() const { return *live_; }
+    /**
+     * Reserve the next FIFO sequence number without scheduling.
+     *
+     * Callers that coalesce many logical events behind one scheduled
+     * event (the per-SM completion timeline) reserve one sequence
+     * number per logical event at the instant the old design would
+     * have scheduled it, then arm the physical event with
+     * scheduleWithSeq.  Ties at equal (time, priority) then resolve
+     * exactly as if every logical event had been scheduled
+     * individually, which keeps simulations bit-identical.
+     */
+    std::uint64_t reserveSeq() { return seq_++; }
 
-    /** True when no live events remain. */
-    bool empty() const { return *live_ == 0; }
+    /**
+     * Schedule @p cb with an explicitly reserved FIFO sequence number.
+     * @pre when >= now() and seq was obtained from reserveSeq()
+     */
+    Handle scheduleWithSeq(SimTime when, std::uint64_t seq, Callback cb,
+                           int priority = prioDefault);
+
+    /** Number of live (non-cancelled, not yet run) events.  O(1). */
+    std::size_t pending() const { return heapEntries() - deadEntries_; }
+
+    /** True when no live events remain.  O(1). */
+    bool empty() const { return pending() == 0; }
 
     /**
      * Run the next live event.
@@ -118,25 +328,123 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Queue entries currently held, live and dead (observability for
+     *  tests of the compaction policy). */
+    std::size_t heapEntries() const
+    {
+        return (bottom_.size() - bottomPos_) + future_.size();
+    }
+
+    /** Slab cells ever allocated (observability for tests of slot
+     *  recycling; steady-state workloads plateau at their peak
+     *  concurrent event count). */
+    std::size_t slotsAllocated() const { return slots_.size(); }
+
   private:
+    /**
+     * POD heap entry; the callback lives in the slot slab.
+     *
+     * The (when, priority, seq) firing key is packed into two 64-bit
+     * words — keyHi = when, keyLo = biased 16-bit priority over a
+     * 48-bit sequence — so entries are 24 bytes and the comparison is
+     * two branch-free integer compares, which matters enormously in
+     * the sift loops (comparisons on random keys mispredict).
+     */
     struct Entry
     {
-        SimTime when;
-        int priority;
-        std::uint64_t seq;
-        std::shared_ptr<Handle::Record> rec;
+        std::uint64_t keyHi;
+        std::uint64_t keyLo;
+        std::uint32_t slot;
+        std::uint32_t gen;
+
+        SimTime when() const { return static_cast<SimTime>(keyHi); }
     };
-    struct EntryOrder
+
+    /** Half the biased priority range; priorities must fit 16 bits. */
+    static constexpr int priorityBias = 1 << 15;
+    /** Sequence numbers occupy the low 48 bits of keyLo. */
+    static constexpr std::uint64_t maxSeq = (1ull << 48) - 1;
+
+    /** One slab cell: callback storage + generation + free-list link. */
+    struct Slot
     {
-        bool operator()(const Entry &a, const Entry &b) const;
+        Callback callback;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = 0;
     };
+
+    /** True when key (hi1, lo1) fires strictly before (hi2, lo2).
+     *  Written with bitwise operators so both compares evaluate
+     *  unconditionally and feed conditional moves, not branches. */
+    static bool keyBefore(std::uint64_t hi1, std::uint64_t lo1,
+                          std::uint64_t hi2, std::uint64_t lo2)
+    {
+        return bool(hi1 < hi2) | (bool(hi1 == hi2) & bool(lo1 < lo2));
+    }
+
+    /** Comparator functor over entries (inlines into sorts). */
+    struct FiresBefore
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            return keyBefore(a.keyHi, a.keyLo, b.keyHi, b.keyLo);
+        }
+    };
+
+    bool slotLive(std::uint32_t slot, std::uint32_t gen) const
+    {
+        return slots_[slot].gen == gen;
+    }
+    /** An entry is dead once its slot's generation moved past it. */
+    bool entryDead(const Entry &e) const { return !slotLive(e.slot, e.gen); }
+
+    void cancelSlot(std::uint32_t slot);
+    Handle doSchedule(SimTime when, std::uint64_t seq, Callback &&cb,
+                      int priority);
+    std::uint32_t acquireSlot(Callback &&cb);
+    void releaseSlot(std::uint32_t slot);
+    void compactIfWorthIt();
+
+    /** @name Two-tier priority structure
+     * A small sorted "bottom" array (next event = index bump) over an
+     * unsorted "future" buffer.  Scheduling beyond the boundary is an
+     * O(1) append; scheduling below it is a sorted insert into the
+     * (small) bottom.  When the bottom drains, the smallest chunk of
+     * the future is selected with nth_element and sorted — sequential
+     * passes that replace the pointer-chasing sift loops of a binary
+     * heap and amortize to O(log n) comparisons per event with far
+     * better locality.  See DESIGN.md §5.
+     * @{ */
+    void insertEntry(const Entry &e);
+    /** Next live entry (skipping dead ones, refilling the bottom),
+     *  or nullptr when drained.  The pointer is invalidated by any
+     *  mutation of the queue. */
+    const Entry *peekFront();
+    void refillBottom();
+    void spillBottom();
+    /** @} */
 
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
-    /// Shared with handle records so Handle::cancel can maintain it.
-    std::shared_ptr<std::size_t> live_;
-    std::priority_queue<Entry, std::vector<Entry>, EntryOrder> heap_;
+    /** Entries whose event was cancelled but not yet swept; live
+     *  events are the remaining entries (pending()). */
+    std::size_t deadEntries_ = 0;
+
+    /** Sorted ascending by key; bottom_[bottomPos_] fires next. */
+    std::vector<Entry> bottom_;
+    std::size_t bottomPos_ = 0;
+    /** Unsorted; every key here is >= (boundaryHi_, boundaryLo_). */
+    std::vector<Entry> future_;
+    /** Keys strictly below the boundary belong to the bottom.  The
+     *  initial zero boundary routes everything to the future until
+     *  the first refill. */
+    std::uint64_t boundaryHi_ = 0;
+    std::uint64_t boundaryLo_ = 0;
+
+    std::vector<Slot> slots_;
+    static constexpr std::uint32_t noSlot = 0xffffffffu;
+    std::uint32_t freeHead_ = noSlot;
 };
 
 } // namespace sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hh"
@@ -173,4 +174,222 @@ TEST(EventQueue, NegativeDelayPanics)
 {
     EventQueue q;
     EXPECT_THROW(q.scheduleIn(-1, [] {}), sim::PanicError);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsInert)
+{
+    EventQueue q;
+    auto h1 = q.schedule(10, [] {});
+    q.run(); // h1's slot is recycled
+    bool ran = false;
+    auto h2 = q.schedule(20, [&] { ran = true; });
+    // h1 now points at a reused slot; the generation counter must
+    // keep it from observing or cancelling h2's event.
+    EXPECT_FALSE(h1.pending());
+    EXPECT_FALSE(h1.cancel());
+    EXPECT_TRUE(h2.pending());
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsOldHandleInert)
+{
+    EventQueue q;
+    auto h1 = q.schedule(10, [] {});
+    h1.cancel();
+    int fired = 0;
+    // Schedule/cancel/run enough times that h1's slot is certainly
+    // recycled several times over.
+    for (int i = 0; i < 20; ++i) {
+        q.schedule(10 + i, [&] { ++fired; });
+        EXPECT_FALSE(h1.pending());
+        EXPECT_FALSE(h1.cancel());
+    }
+    q.run();
+    EXPECT_EQ(fired, 20);
+}
+
+TEST(EventQueue, SlotsAreRecycledInSteadyState)
+{
+    EventQueue q;
+    // Never more than one event in flight: the slab must not grow
+    // beyond its peak concurrency no matter how many events run.
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    std::size_t peak = q.slotsAllocated();
+    for (int i = 0; i < 1000; ++i) {
+        q.scheduleIn(1, [] {});
+        q.run();
+    }
+    EXPECT_EQ(q.slotsAllocated(), peak)
+        << "slots leaked instead of recycling through the free list";
+}
+
+TEST(EventQueue, MassCancellationCompactsTheHeap)
+{
+    EventQueue q;
+    std::vector<EventQueue::Handle> handles;
+    const std::size_t n = 1000;
+    for (std::size_t i = 0; i < n; ++i) {
+        handles.push_back(
+            q.schedule(static_cast<sim::SimTime>(1000000 + i), [] {}));
+    }
+    EXPECT_EQ(q.heapEntries(), n);
+    // Cancel all but the last: dead entries must not accumulate until
+    // popped (they used to sit in the heap until their far-future
+    // timestamps came up).
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        handles[i].cancel();
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_LT(q.heapEntries(), 64u)
+        << "cancelled far-future entries were not compacted away";
+    bool ran = false;
+    q.schedule(2000000, [&] { ran = true; }); // behind every cancelled one
+    q.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, LargeCapturesFallBackTransparently)
+{
+    EventQueue q;
+    // A capture bigger than the inline buffer must still work (heap
+    // fallback path of EventCallback).
+    struct Big
+    {
+        char bytes[128];
+    } big = {};
+    big.bytes[0] = 42;
+    char seen = 0;
+    q.schedule(1, [big, &seen] { seen = big.bytes[0]; });
+    static_assert(sizeof(Big) > sim::EventCallback::inlineBytes,
+                  "capture intended to exceed the inline buffer");
+    q.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, ReservedSequencesBreakTiesInReservationOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Reserve two sequence numbers, then arm them in reverse order:
+    // ties at equal (time, priority) must fire in reservation order,
+    // not scheduling order.
+    std::uint64_t s1 = q.reserveSeq();
+    std::uint64_t s2 = q.reserveSeq();
+    q.scheduleWithSeq(5, s2, [&] { order.push_back(2); },
+                      sim::prioCompletion);
+    q.scheduleWithSeq(5, s1, [&] { order.push_back(1); },
+                      sim::prioCompletion);
+    q.schedule(5, [&] { order.push_back(3); }, sim::prioCompletion);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+/**
+ * Randomized property test: arbitrary schedule/cancel/step
+ * interleavings must fire exactly the events a naive reference model
+ * predicts, in exactly the model's (time, priority, seq) order.
+ */
+TEST(EventQueueProperty, RandomInterleavingsMatchReferenceModel)
+{
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    auto rnd = [&lcg](std::uint64_t mod) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % mod;
+    };
+    const int prios[] = {sim::prioCompletion, sim::prioDriver,
+                         sim::prioPolicy, sim::prioDefault};
+
+    for (int round = 0; round < 25; ++round) {
+        EventQueue q;
+        struct ModelEvent
+        {
+            sim::SimTime when;
+            int priority;
+            std::uint64_t seq;
+            int id;
+            bool alive;
+        };
+        std::vector<ModelEvent> model;
+        std::vector<EventQueue::Handle> handles;
+        std::vector<int> fired;
+        std::uint64_t seqCounter = 0; // mirrors the queue's counter
+
+        auto modelNext = [&]() -> ModelEvent * {
+            ModelEvent *best = nullptr;
+            for (auto &e : model) {
+                if (!e.alive)
+                    continue;
+                if (!best || e.when < best->when ||
+                    (e.when == best->when &&
+                     (e.priority < best->priority ||
+                      (e.priority == best->priority &&
+                       e.seq < best->seq)))) {
+                    best = &e;
+                }
+            }
+            return best;
+        };
+
+        for (int op = 0; op < 400; ++op) {
+            std::uint64_t what = rnd(10);
+            if (what < 6) { // schedule
+                sim::SimTime when =
+                    q.now() + static_cast<sim::SimTime>(rnd(50));
+                int priority =
+                    prios[rnd(sizeof(prios) / sizeof(prios[0]))];
+                int id = static_cast<int>(model.size());
+                std::uint64_t seq;
+                if (rnd(4) == 0) {
+                    // Exercise the reserve-then-arm path.
+                    seq = q.reserveSeq();
+                    ASSERT_EQ(seq, seqCounter++);
+                    handles.push_back(q.scheduleWithSeq(
+                        when, seq,
+                        [&fired, id] { fired.push_back(id); },
+                        priority));
+                } else {
+                    seq = seqCounter++;
+                    handles.push_back(q.schedule(
+                        when, [&fired, id] { fired.push_back(id); },
+                        priority));
+                }
+                model.push_back({when, priority, seq, id, true});
+            } else if (what < 8 && !model.empty()) { // cancel
+                std::uint64_t pick = rnd(model.size());
+                bool expect = model[pick].alive;
+                EXPECT_EQ(handles[pick].cancel(), expect);
+                EXPECT_FALSE(handles[pick].pending());
+                model[pick].alive = false;
+            } else { // step
+                ModelEvent *next = modelNext();
+                if (next == nullptr) {
+                    EXPECT_FALSE(q.step());
+                    EXPECT_TRUE(q.empty());
+                } else {
+                    ASSERT_TRUE(q.step());
+                    EXPECT_EQ(q.now(), next->when);
+                    ASSERT_FALSE(fired.empty());
+                    EXPECT_EQ(fired.back(), next->id);
+                    next->alive = false;
+                }
+            }
+            // The live count always matches the model's.
+            std::size_t alive = 0;
+            for (const auto &e : model)
+                alive += e.alive ? 1 : 0;
+            ASSERT_EQ(q.pending(), alive);
+        }
+
+        // Drain; the tail must also fire in model order.
+        while (ModelEvent *next = modelNext()) {
+            ASSERT_TRUE(q.step());
+            EXPECT_EQ(fired.back(), next->id);
+            next->alive = false;
+        }
+        EXPECT_FALSE(q.step());
+        EXPECT_TRUE(q.empty());
+    }
 }

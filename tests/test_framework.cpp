@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+
 #include "core/tables.hh"
 #include "sim/logging.hh"
 #include "tests/test_util.hh"
@@ -215,4 +218,36 @@ TEST(Framework, SetupLatencySkippedForSameContext)
         rig.params.smSetupLatency + sim::microseconds(10.0);
     EXPECT_EQ(end1, k1_time);
     EXPECT_EQ(end2, k1_time + k2_time);
+}
+
+TEST(Framework, CompletionTimelineKeepsQueuePressureBounded)
+{
+    // The per-SM completion timeline arms exactly one event per busy
+    // SM, so the global event queue holds O(SMs) live events instead
+    // of O(resident TBs) — with 13 SMs at occupancy 16 the old design
+    // kept ~208 completion events pending.
+    DeviceRig rig;
+    auto *q = rig.queueFor(0);
+    auto k = test::makeProfile("big", 2000, 50.0);
+    rig.launch(q, &k);
+
+    std::size_t peak = 0;
+    std::function<void()> sample = [&] {
+        std::size_t p = rig.sim.events().pending();
+        peak = std::max(peak, p);
+        if (p > 0) {
+            rig.sim.events().scheduleIn(sim::microseconds(25.0),
+                                        [&] { sample(); });
+        }
+    };
+    sample();
+    rig.run();
+
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 1u);
+    std::size_t sms =
+        static_cast<std::size_t>(rig.framework.numSms());
+    EXPECT_LE(peak, sms + 8u)
+        << "queue pressure is not O(SMs): completion events are not "
+           "being coalesced per SM";
+    EXPECT_GT(peak, 2u) << "probe never saw the engine busy";
 }

@@ -136,9 +136,12 @@ TEST(Runner, ParallelBatchBitIdenticalToSerialAndOrdered)
     std::mutex mu;
     std::vector<std::size_t> done_values;
     parallel.setProgress([&](std::size_t done, std::size_t total,
-                             const RunRequest &) {
+                             const RunRequest &, const RunResult &res) {
         std::lock_guard<std::mutex> lock(mu);
         EXPECT_EQ(total, batch.requests.size());
+        // Throughput telemetry rides along with every finished run.
+        EXPECT_GT(res.sys.eventsExecuted, 0u);
+        EXPECT_GE(res.wallSeconds, 0.0);
         done_values.push_back(done);
     });
     auto actual = parallel.run(batch.requests);
