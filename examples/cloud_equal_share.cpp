@@ -16,6 +16,7 @@
 #include <iostream>
 #include <vector>
 
+#include "harness/args.hh"
 #include "harness/report.hh"
 #include "harness/suite.hh"
 #include "trace/parboil.hh"
@@ -24,8 +25,13 @@ using namespace gpump;
 using harness::AsciiTable;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --list-schemes and config key=value overrides work in every
+    // example binary; Args handles the flag and exits, and the
+    // collected overrides feed every simulation below.
+    harness::Args args(argc, argv);
+
     // Tenants: an interactive analytics job (sgemm), a sparse solver
     // (spmv), a video pipeline (sad) and a long batch job (lbm).
     workload::WorkloadPlan tenants;
@@ -40,7 +46,7 @@ main()
         .scheme("dss/drain", {"dss", "draining", "fcfs"});
     harness::Batch batch = suite.build();
 
-    harness::Runner runner(sim::Config(), /*jobs=*/2);
+    harness::Runner runner(args.config(), /*jobs=*/2);
     std::vector<harness::RunResult> results =
         runner.run(batch.requests);
 

@@ -16,6 +16,7 @@
 
 #include "core/framework.hh"
 #include "tests/test_util.hh"
+#include "harness/args.hh"
 
 using namespace gpump;
 
@@ -24,11 +25,13 @@ namespace {
 /** Runs the scenario; returns the victim's completion time or -1 if
  *  it starved within the horizon. */
 sim::SimTime
-runScenario(const std::string &mechanism, sim::SimTime horizon)
+runScenario(const std::string &mechanism, sim::SimTime horizon,
+            const sim::Config &overrides)
 {
     sim::Config cfg;
     cfg.set("dss.tokens_per_kernel", static_cast<std::int64_t>(6));
     cfg.set("dss.bonus_tokens", static_cast<std::int64_t>(1));
+    cfg.merge(overrides);
     test::DeviceRig rig("dss", mechanism, cfg);
 
     // The persistent kernel: fills all 13 SMs (occupancy 16) with
@@ -56,16 +59,21 @@ runScenario(const std::string &mechanism, sim::SimTime horizon)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --list-schemes and config key=value overrides work in every
+    // example binary; Args handles the flag and exits, and the
+    // collected overrides feed every simulation below.
+    harness::Args args(argc, argv);
+
     const sim::SimTime horizon = sim::milliseconds(100.0);
     std::printf("Persistent kernel vs. a 260 us victim kernel "
                 "(DSS equal sharing)\n");
     std::printf("================================================="
                 "=============\n\n");
 
-    sim::SimTime with_drain = runScenario("draining", horizon);
-    sim::SimTime with_cs = runScenario("context_switch", horizon);
+    sim::SimTime with_drain = runScenario("draining", horizon, args.config());
+    sim::SimTime with_cs = runScenario("context_switch", horizon, args.config());
 
     if (with_drain < 0) {
         std::printf("draining:        victim STARVED for the whole "

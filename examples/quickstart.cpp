@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "harness/args.hh"
 #include "harness/suite.hh"
 #include "metrics/metrics.hh"
 #include "trace/parboil.hh"
@@ -27,11 +28,16 @@
 using namespace gpump;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --list-schemes and config key=value overrides work in every
+    // example binary; Args handles the flag and exits, and the
+    // collected overrides feed every simulation below.
+    harness::Args args(argc, argv);
+
     // --- 1. A Runner memoizes isolated baselines: each benchmark ---
     //        alone on the machine, the denominator of every metric.
-    harness::Runner runner;
+    harness::Runner runner(args.config());
     double sgemm_alone_us = runner.isolatedTimeUs("sgemm");
     std::printf("sgemm alone:            %8.1f us per execution\n",
                 sgemm_alone_us);
@@ -114,7 +120,7 @@ main()
     custom.customSpecs = {&my_app, &lbm};
     custom.policy = "dss";
     custom.minReplays = 3;
-    workload::System custom_system(custom);
+    workload::System custom_system(custom, args.config());
     auto custom_result = custom_system.run(sim::seconds(60.0));
     std::printf("my-solver next to lbm/DSS: %8.1f us per execution\n",
                 custom_result.meanTurnaroundUs[0]);

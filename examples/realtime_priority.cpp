@@ -18,6 +18,7 @@
 #include <iostream>
 #include <vector>
 
+#include "harness/args.hh"
 #include "harness/report.hh"
 #include "harness/suite.hh"
 
@@ -60,8 +61,13 @@ summarize(const std::string &label, const harness::RunResult &result,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --list-schemes and config key=value overrides work in every
+    // example binary; Args handles the flag and exits, and the
+    // collected overrides feed every simulation below.
+    harness::Args args(argc, argv);
+
     workload::WorkloadPlan plan;
     plan.benchmarks = {"mri-q", "lbm", "stencil", "mri-gridding"};
     plan.highPriorityIndex = 0;
@@ -76,7 +82,7 @@ main()
         .scheme("ppq/cs", {"ppq_excl", "context_switch", "priority"});
     harness::Batch batch = suite.build();
 
-    harness::Runner runner(sim::Config(), /*jobs=*/2);
+    harness::Runner runner(args.config(), /*jobs=*/2);
     double isolated_us = runner.isolatedTimeUs("mri-q");
     auto results = runner.run(batch.requests);
 

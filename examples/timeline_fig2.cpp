@@ -20,6 +20,7 @@
 
 #include "core/framework.hh"
 #include "tests/test_util.hh"
+#include "harness/args.hh"
 
 using namespace gpump;
 
@@ -53,9 +54,9 @@ struct TimelineProbe : core::EngineObserver
 /** Run the 3-kernel scenario; returns the kernel spans and K3's
  *  submission-to-completion latency. */
 std::pair<std::map<std::string, Span>, sim::SimTime>
-runScenario(const std::string &policy)
+runScenario(const std::string &policy, const sim::Config &overrides)
 {
-    test::DeviceRig rig(policy, "context_switch");
+    test::DeviceRig rig(policy, "context_switch", overrides);
     TimelineProbe probe;
     probe.sim = &rig.sim;
     rig.framework.setObserver(&probe);
@@ -111,14 +112,19 @@ printGantt(const char *title, const std::map<std::string, Span> &spans,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --list-schemes and config key=value overrides work in every
+    // example binary; Args handles the flag and exits, and the
+    // collected overrides feed every simulation below.
+    harness::Args args(argc, argv);
+
     std::printf("Figure 2: scheduling a soft real-time kernel (K3)\n");
     std::printf("==================================================\n\n");
 
-    auto [fcfs_spans, fcfs_lat] = runScenario("fcfs");
-    auto [npq_spans, npq_lat] = runScenario("npq");
-    auto [ppq_spans, ppq_lat] = runScenario("ppq_excl");
+    auto [fcfs_spans, fcfs_lat] = runScenario("fcfs", args.config());
+    auto [npq_spans, npq_lat] = runScenario("npq", args.config());
+    auto [ppq_spans, ppq_lat] = runScenario("ppq_excl", args.config());
 
     sim::SimTime horizon = 0;
     for (const auto *spans : {&fcfs_spans, &npq_spans, &ppq_spans}) {

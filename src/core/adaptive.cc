@@ -1,0 +1,95 @@
+#include "core/adaptive.hh"
+
+#include "core/framework.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace core {
+
+AdaptiveMechanism::AdaptiveMechanism(double bias)
+    : bias_(bias)
+{
+    GPUMP_ASSERT(bias >= 0.0, "negative adaptive bias");
+}
+
+void
+AdaptiveMechanism::bind(SchedulingFramework &fw)
+{
+    PreemptionMechanism::bind(fw);
+    contextSwitch_.bind(fw);
+    draining_.bind(fw);
+}
+
+sim::SimTime
+AdaptiveMechanism::estimatedDrainTime(const gpu::Sm *sm) const
+{
+    GPUMP_ASSERT(!sm->resident.empty(),
+                 "drain estimate on an empty SM");
+    // resident is kept ordered by (endAt, seq): the back entry is the
+    // last block to finish, which is when draining would complete.
+    return sm->resident.back().endAt - fw_->sim().now();
+}
+
+sim::SimTime
+AdaptiveMechanism::modeledSaveCost(const gpu::Sm *sm) const
+{
+    GPUMP_ASSERT(sm->kernel != nullptr, "save estimate on idle SM");
+    std::int64_t bytes = sm->kernel->contextBytesPerTb() *
+        static_cast<std::int64_t>(sm->resident.size());
+    return fw_->params().pipelineDrainLatency +
+        fw_->gmem().moveTime(bytes, fw_->params().numSms);
+}
+
+void
+AdaptiveMechanism::beginPreemption(gpu::Sm *sm)
+{
+    GPUMP_ASSERT(fw_ != nullptr, "mechanism not bound");
+    GPUMP_ASSERT(!sm->resident.empty(),
+                 "adaptive preemption on SM %d with nothing resident",
+                 sm->id());
+
+    double drain_est = static_cast<double>(estimatedDrainTime(sm));
+    double save_est = static_cast<double>(modeledSaveCost(sm));
+    if (drain_est <= bias_ * save_est) {
+        ++drains_;
+        draining_.beginPreemption(sm);
+    } else {
+        ++switches_;
+        contextSwitch_.beginPreemption(sm);
+    }
+}
+
+// --------------------------------------------------------- registry
+
+namespace {
+
+[[maybe_unused]] const bool registered_adaptive = [] {
+    MechanismRegistry::Descriptor d;
+    d.name = "adaptive";
+    d.doc = "Per-SM drain-vs-switch selection: drains when the "
+            "resident blocks' estimated remaining time is below the "
+            "modeled context-save cost, context-switches otherwise "
+            "(the Figures 6-7 tradeoff, played per preemption)";
+    d.configPrefix = "adaptive";
+    d.tunables = {
+        {"adaptive.bias", TunableType::Double, "1",
+         "drain when estimated drain time <= bias x modeled save "
+         "cost; >1 favours draining, 0 context-switches unless the "
+         "SM is already at a block boundary (zero drain estimate)"},
+    };
+    d.factory = [](const sim::Config &cfg) {
+        double bias = cfg.getDouble("adaptive.bias", 1.0);
+        if (bias < 0)
+            sim::fatal("adaptive.bias must be >= 0");
+        return std::make_unique<AdaptiveMechanism>(bias);
+    };
+    mechanismRegistry().add(std::move(d));
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(AdaptiveMechanism)
+
+} // namespace core
+} // namespace gpump

@@ -63,5 +63,28 @@ ContextSwitchMechanism::beginPreemption(gpu::Sm *sm)
         sim::prioCompletion);
 }
 
+// --------------------------------------------------------- registry
+
+namespace {
+
+[[maybe_unused]] const bool registered_cs = [] {
+    MechanismRegistry::Descriptor d;
+    d.name = "context_switch";
+    d.aliases = {"cs"};
+    d.doc = "Save/restore preemption (Section 3.2): drain the "
+            "pipeline, save every resident thread block's context to "
+            "off-chip memory at the SM's bandwidth share, re-issue "
+            "from the PTBQ later";
+    d.factory = [](const sim::Config &) {
+        return std::make_unique<ContextSwitchMechanism>();
+    };
+    mechanismRegistry().add(std::move(d));
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(ContextSwitchMechanism)
+
 } // namespace core
 } // namespace gpump

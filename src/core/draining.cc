@@ -18,5 +18,27 @@ DrainingMechanism::beginPreemption(gpu::Sm *sm)
     sm->state = gpu::Sm::State::Draining;
 }
 
+// --------------------------------------------------------- registry
+
+namespace {
+
+[[maybe_unused]] const bool registered_drain = [] {
+    MechanismRegistry::Descriptor d;
+    d.name = "draining";
+    d.aliases = {"drain"};
+    d.doc = "Drain-to-thread-block-boundary preemption (Section 3.2): "
+            "stop issuing and let resident blocks finish; no context "
+            "is saved, latency is the blocks' remaining run time";
+    d.factory = [](const sim::Config &) {
+        return std::make_unique<DrainingMechanism>();
+    };
+    mechanismRegistry().add(std::move(d));
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(DrainingMechanism)
+
 } // namespace core
 } // namespace gpump

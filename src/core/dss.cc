@@ -199,5 +199,65 @@ DssPolicy::partitionLoop()
     }
 }
 
+// --------------------------------------------------------- registry
+
+namespace {
+
+[[maybe_unused]] const bool registered_dss = [] {
+    PolicyRegistry::Descriptor d;
+    d.name = "dss";
+    d.doc = "Dynamic Spatial Sharing (Section 3.4, Algorithm 1): "
+            "token-based SM partitioning with debt, rebalanced by "
+            "preempting the token-poorest kernel";
+    d.configPrefix = "dss";
+    d.tunables = {
+        {"dss.tokens_per_kernel", TunableType::Int, "",
+         "SM budget granted per kernel on admission; default "
+         "floor(NSMs/Nprocs), the paper's equal share"},
+        {"dss.bonus_tokens", TunableType::Int, "",
+         "remainder tokens r = NSMs mod Nprocs, granted one each to "
+         "the first r admitted kernels; defaults to the remainder "
+         "when dss.tokens_per_kernel also defaults, else 0"},
+        {"dss.retarget", TunableType::Bool, "true",
+         "re-target in-flight reservations whose beneficiary no "
+         "longer needs the SM (Section 3.4 optimisation)"},
+        {"dss.weight_by_priority", TunableType::Bool, "false",
+         "scale each kernel's token grant by (1 + process priority): "
+         "OS-controlled weighted sharing"},
+    };
+    // Equal sharing (Section 4.4) needs the machine and workload
+    // sizes, which only exist at system assembly.  The pair default
+    // applies only while the token budget itself defaults — the
+    // remainder is meaningless next to a caller-chosen budget — and
+    // an explicitly set bonus is never overwritten.
+    d.assemblyDefaults = [](sim::Config &cfg, int num_sms,
+                            int num_processes) {
+        if (num_processes > 0 && !cfg.has("dss.tokens_per_kernel")) {
+            cfg.set("dss.tokens_per_kernel",
+                    static_cast<std::int64_t>(num_sms / num_processes));
+            if (!cfg.has("dss.bonus_tokens")) {
+                cfg.set("dss.bonus_tokens",
+                        static_cast<std::int64_t>(num_sms %
+                                                  num_processes));
+            }
+        }
+    };
+    d.factory = [](const sim::Config &cfg) {
+        int tokens = static_cast<int>(
+            cfg.getInt("dss.tokens_per_kernel", 1));
+        int bonus = static_cast<int>(cfg.getInt("dss.bonus_tokens", 0));
+        bool retarget = cfg.getBool("dss.retarget", true);
+        bool weighted = cfg.getBool("dss.weight_by_priority", false);
+        return std::make_unique<DssPolicy>(tokens, bonus, retarget,
+                                           weighted);
+    };
+    policyRegistry().add(std::move(d));
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(DssPolicy)
+
 } // namespace core
 } // namespace gpump

@@ -44,6 +44,26 @@ FcfsPolicy::admit()
     }
 }
 
+namespace {
+
+[[maybe_unused]] const bool registered_fcfs = [] {
+    PolicyRegistry::Descriptor d;
+    d.name = "fcfs";
+    d.doc = "Baseline GPU: kernels run in arrival order, one context "
+            "at a time on the engine, back-to-back within a context "
+            "(Section 2.3)";
+    d.usesMechanism = false; // never reserves an SM
+    d.factory = [](const sim::Config &) {
+        return std::make_unique<FcfsPolicy>();
+    };
+    policyRegistry().add(std::move(d));
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(FcfsPolicy)
+
 void
 FcfsPolicy::schedule()
 {

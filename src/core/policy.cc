@@ -1,44 +1,34 @@
 #include "core/policy.hh"
 
-#include "core/dss.hh"
-#include "core/fcfs.hh"
-#include "core/priority.hh"
-#include "core/timemux.hh"
-#include "sim/logging.hh"
-
 namespace gpump {
 namespace core {
+
+PolicyRegistry &
+policyRegistry()
+{
+    static PolicyRegistry registry("scheduling policy");
+    return registry;
+}
+
+void
+linkBuiltinPolicies()
+{
+    // Built-in policies live in gpump's static archive; their
+    // registrar objects run only if the linker keeps their object
+    // files, which these anchor references guarantee.  Out-of-tree
+    // registrants are part of the executable and need no anchor.
+    GPUMP_FORCE_LINK(FcfsPolicy);
+    GPUMP_FORCE_LINK(PriorityPolicies);
+    GPUMP_FORCE_LINK(DssPolicy);
+    GPUMP_FORCE_LINK(TimeMuxPolicy);
+    GPUMP_FORCE_LINK(PpqAgingPolicy);
+}
 
 std::unique_ptr<SchedulingPolicy>
 makePolicy(const std::string &name, const sim::Config &cfg)
 {
-    if (name == "fcfs")
-        return std::make_unique<FcfsPolicy>();
-    if (name == "npq")
-        return std::make_unique<NpqPolicy>();
-    if (name == "ppq_excl")
-        return std::make_unique<PpqPolicy>(/*exclusive=*/true);
-    if (name == "ppq_shared")
-        return std::make_unique<PpqPolicy>(/*exclusive=*/false);
-    if (name == "dss") {
-        int tokens = static_cast<int>(
-            cfg.getInt("dss.tokens_per_kernel", 1));
-        int bonus = static_cast<int>(cfg.getInt("dss.bonus_tokens", 0));
-        bool retarget = cfg.getBool("dss.retarget", true);
-        bool weighted = cfg.getBool("dss.weight_by_priority", false);
-        return std::make_unique<DssPolicy>(tokens, bonus, retarget,
-                                           weighted);
-    }
-    if (name == "tmux") {
-        double quantum_us = cfg.getDouble("tmux.quantum_us", 200.0);
-        if (quantum_us <= 0)
-            sim::fatal("tmux.quantum_us must be positive");
-        return std::make_unique<TimeMuxPolicy>(
-            sim::microseconds(quantum_us));
-    }
-    sim::fatal("unknown scheduling policy '%s' (expected fcfs, npq, "
-               "ppq_excl, ppq_shared, dss or tmux)",
-               name.c_str());
+    linkBuiltinPolicies();
+    return policyRegistry().make(name, cfg);
 }
 
 } // namespace core

@@ -4,15 +4,14 @@
  *
  * A policy decides *which* kernels get admitted and *which* SMs they
  * run on; it triggers preemption through the framework and never
- * talks to the mechanism directly.  Implemented policies:
- *  - "fcfs":       the baseline GPU (arrival order, one context at a
- *                  time on the engine, back-to-back within a context);
- *  - "npq":        non-preemptive priority queues;
- *  - "ppq_excl":   preemptive priority queues, the high-priority
- *                  process has exclusive access to the engine;
- *  - "ppq_shared": preemptive priority queues with low-priority
- *                  back-filling of free SMs;
- *  - "dss":        Dynamic Spatial Sharing (Algorithm 1).
+ * talks to the mechanism directly.
+ *
+ * Policies self-register in policyRegistry() (see core/registry.hh);
+ * run any bench or example with --list-schemes for the live list with
+ * doc strings and declared tunables.  Built-ins: "fcfs" (the baseline
+ * GPU), "npq", "ppq_excl", "ppq_shared" (Section 4.2-4.3), "dss"
+ * (Algorithm 1), "tmux" (round-robin time slicing) and "ppq_aging"
+ * (PPQ with priority aging against low-priority starvation).
  */
 
 #ifndef GPUMP_CORE_POLICY_HH
@@ -21,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "core/registry.hh"
 #include "gpu/kernel_exec.hh"
 #include "gpu/sm.hh"
 #include "sim/config.hh"
@@ -68,13 +68,29 @@ class SchedulingPolicy
     SchedulingFramework *fw_ = nullptr;
 };
 
+/** The process-wide registry of scheduling policies. */
+using PolicyRegistry = SchemeRegistry<SchedulingPolicy>;
+PolicyRegistry &policyRegistry();
+
 /**
- * Policy factory.
+ * Reference the link anchors of every built-in policy so their
+ * archive members (and registrar objects) survive static linking.
+ * makePolicy and the --list-schemes printer call this; out-of-tree
+ * registrants never need it.
+ */
+void linkBuiltinPolicies();
+
+/**
+ * Policy factory: a thin lookup into policyRegistry().
  *
- * @param name one of "fcfs", "npq", "ppq_excl", "ppq_shared", "dss".
+ * @param name a registered policy ("fcfs", "npq", "ppq_excl",
+ *             "ppq_shared", "dss", "tmux", "ppq_aging", or anything
+ *             registered out of tree).
  * @param cfg  policy tunables (e.g. "dss.tokens_per_kernel").
  *
- * Raises fatal() for unknown names.
+ * Raises fatal() for unknown names (listing every registered policy)
+ * and for unknown or ill-typed keys under any policy-claimed config
+ * namespace (naming the nearest declared tunable).
  */
 std::unique_ptr<SchedulingPolicy>
 makePolicy(const std::string &name, const sim::Config &cfg);

@@ -1,22 +1,30 @@
 #include "core/preemption.hh"
 
-#include "core/context_switch.hh"
-#include "core/draining.hh"
-#include "sim/logging.hh"
-
 namespace gpump {
 namespace core {
 
-std::unique_ptr<PreemptionMechanism>
-makeMechanism(const std::string &name)
+MechanismRegistry &
+mechanismRegistry()
 {
-    if (name == "context_switch" || name == "cs")
-        return std::make_unique<ContextSwitchMechanism>();
-    if (name == "draining" || name == "drain")
-        return std::make_unique<DrainingMechanism>();
-    sim::fatal("unknown preemption mechanism '%s' "
-               "(expected context_switch or draining)",
-               name.c_str());
+    static MechanismRegistry registry("preemption mechanism");
+    return registry;
+}
+
+void
+linkBuiltinMechanisms()
+{
+    // Keep the built-in registrants' archive members linked (see
+    // registry.hh on the static-library anchor pattern).
+    GPUMP_FORCE_LINK(ContextSwitchMechanism);
+    GPUMP_FORCE_LINK(DrainingMechanism);
+    GPUMP_FORCE_LINK(AdaptiveMechanism);
+}
+
+std::unique_ptr<PreemptionMechanism>
+makeMechanism(const std::string &name, const sim::Config &cfg)
+{
+    linkBuiltinMechanisms();
+    return mechanismRegistry().make(name, cfg);
 }
 
 } // namespace core

@@ -8,19 +8,6 @@
 namespace gpump {
 namespace core {
 
-namespace {
-
-/** Descending priority, ascending arrival within a priority level. */
-bool
-priorityOrder(const gpu::KernelExec *a, const gpu::KernelExec *b)
-{
-    if (a->priority() != b->priority())
-        return a->priority() > b->priority();
-    return a->seq() < b->seq();
-}
-
-} // namespace
-
 // ---------------------------------------------------------------- NPQ
 
 void
@@ -74,8 +61,17 @@ NpqPolicy::admit()
 std::vector<gpu::KernelExec *>
 NpqPolicy::sortedActive() const
 {
+    // Descending effective priority, ascending arrival within a level.
     std::vector<gpu::KernelExec *> sorted = fw_->activeKernels();
-    std::stable_sort(sorted.begin(), sorted.end(), priorityOrder);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [this](const gpu::KernelExec *a,
+                            const gpu::KernelExec *b) {
+                         int pa = effectivePriority(a);
+                         int pb = effectivePriority(b);
+                         if (pa != pb)
+                             return pa > pb;
+                         return a->seq() < b->seq();
+                     });
     return sorted;
 }
 
@@ -158,7 +154,7 @@ PpqPolicy::preempt()
         for (const auto &sm : fw_->sms()) {
             if (!sm->kernel || sm->reserved)
                 continue;
-            if (sm->kernel->priority() >= hp->priority())
+            if (effectivePriority(sm->kernel) >= effectivePriority(hp))
                 continue;
             if (sm->state != gpu::Sm::State::Running &&
                 sm->state != gpu::Sm::State::Setup) {
@@ -182,9 +178,9 @@ PpqPolicy::scheduleWithMode()
     // PPQ relies on the multiprogramming extensions: kernels from
     // different contexts may occupy disjoint SM sets concurrently, so
     // no engine-context window applies here.
-    int top = sorted.front()->priority();
+    int top = effectivePriority(sorted.front());
     for (gpu::KernelExec *k : sorted) {
-        if (exclusive_ && k->priority() < top)
+        if (exclusive_ && effectivePriority(k) < top)
             break; // no back-filling below the top priority level
         while (fw_->unallocatedTbs(k) > 0) {
             gpu::Sm *sm = fw_->findIdleSm();
@@ -194,6 +190,49 @@ PpqPolicy::scheduleWithMode()
         }
     }
 }
+
+// --------------------------------------------------------- registry
+
+namespace {
+
+[[maybe_unused]] const bool registered_priority = [] {
+    PolicyRegistry::Descriptor npq;
+    npq.name = "npq";
+    npq.doc = "Non-preemptive priority queues (Section 4.2): highest "
+              "priority admitted and scheduled first, running kernels "
+              "never disturbed, one context at a time";
+    npq.usesMechanism = false; // never reserves an SM
+    npq.factory = [](const sim::Config &) {
+        return std::make_unique<NpqPolicy>();
+    };
+    policyRegistry().add(std::move(npq));
+
+    PolicyRegistry::Descriptor excl;
+    excl.name = "ppq_excl";
+    excl.doc = "Preemptive priority queues, exclusive mode "
+               "(Section 4.3): the top priority level owns the whole "
+               "engine; lower priorities wait";
+    excl.factory = [](const sim::Config &) {
+        return std::make_unique<PpqPolicy>(/*exclusive=*/true);
+    };
+    policyRegistry().add(std::move(excl));
+
+    PolicyRegistry::Descriptor shared;
+    shared.name = "ppq_shared";
+    shared.doc = "Preemptive priority queues, shared mode "
+                 "(Section 4.3): lower priorities back-fill SMs the "
+                 "top level leaves free";
+    shared.factory = [](const sim::Config &) {
+        return std::make_unique<PpqPolicy>(/*exclusive=*/false);
+    };
+    policyRegistry().add(std::move(shared));
+
+    return true;
+}();
+
+} // namespace
+
+GPUMP_DEFINE_LINK_ANCHOR(PriorityPolicies)
 
 } // namespace core
 } // namespace gpump

@@ -43,7 +43,19 @@ class NpqPolicy : public SchedulingPolicy
     /** Admit waiting commands, highest (priority, then arrival) first. */
     void admit();
 
-    /** Active kernels sorted by descending priority, then arrival. */
+    /**
+     * The priority used for every ordering decision.  Defaults to the
+     * kernel's launch priority; subclasses may boost it (the aging
+     * policy raises it with waiting time to prevent starvation).
+     * Must be stable for the duration of one policy callback.
+     */
+    virtual int effectivePriority(const gpu::KernelExec *k) const
+    {
+        return k->priority();
+    }
+
+    /** Active kernels sorted by descending effectivePriority, then
+     *  arrival. */
     std::vector<gpu::KernelExec *> sortedActive() const;
 
     /** Hand idle SMs to kernels in priority order (non-preemptive). */
@@ -68,7 +80,7 @@ class PpqPolicy : public NpqPolicy
     void onSmIdle(gpu::Sm *sm) override;
     void onPreemptionComplete(gpu::Sm *sm, gpu::KernelExec *next) override;
 
-  private:
+  protected:
     /** SM capacity a kernel still needs beyond what it holds or has
      *  been promised through pending reservations. */
     int needExtra(const gpu::KernelExec *k) const;
@@ -79,6 +91,7 @@ class PpqPolicy : public NpqPolicy
     /** Priority-ordered scheduling honouring the access mode. */
     void scheduleWithMode();
 
+  private:
     bool exclusive_;
 };
 

@@ -1,11 +1,57 @@
 #include "harness/args.hh"
 
 #include <cstdlib>
+#include <iostream>
 
+#include "core/policy.hh"
+#include "core/preemption.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
 namespace harness {
+
+namespace {
+
+/** Print one registry section ("Scheduling policies", ...). */
+template <typename Base>
+void
+printRegistry(std::ostream &os, const char *title,
+              const core::SchemeRegistry<Base> &registry)
+{
+    os << title << ":\n";
+    for (const std::string &name : registry.list()) {
+        const auto &d = registry.at(name);
+        os << "  " << name;
+        if (!d.aliases.empty()) {
+            os << " (";
+            for (std::size_t i = 0; i < d.aliases.size(); ++i)
+                os << (i ? ", " : "") << d.aliases[i];
+            os << ")";
+        }
+        os << "\n      " << d.doc << "\n";
+        for (const core::Tunable &t : d.tunables) {
+            os << "      " << t.key << "  ("
+               << core::tunableTypeName(t.type) << ", default "
+               << (t.def.empty() ? "contextual" : t.def) << ")\n"
+               << "          " << t.doc << "\n";
+        }
+    }
+    os << "\n";
+}
+
+} // namespace
+
+void
+printSchemes(std::ostream &os)
+{
+    core::linkBuiltinPolicies();
+    core::linkBuiltinMechanisms();
+    printRegistry(os, "Scheduling policies", core::policyRegistry());
+    printRegistry(os, "Preemption mechanisms",
+                  core::mechanismRegistry());
+    os << "Select with a harness::Scheme{policy, mechanism, "
+          "transfer} and tune with bare key=value arguments.\n";
+}
 
 Args::Args(int argc, char **argv)
 {
@@ -23,6 +69,10 @@ Args::Args(int argc, char **argv)
                        "or key=value)",
                        tok.c_str());
         }
+    }
+    if (hasFlag("list-schemes")) {
+        printSchemes(std::cout);
+        std::exit(0);
     }
 }
 

@@ -6,13 +6,19 @@
  *  - "--name=value" flags (consumed by the binary itself, e.g.
  *    --workloads=20);
  *  - bare "key=value" tokens, forwarded into the simulation Config so
- *    any model parameter can be overridden without recompiling.
+ *    any model parameter can be overridden without recompiling;
+ *  - "--list-schemes", handled right here in the Args constructor:
+ *    prints every registered scheduling policy and preemption
+ *    mechanism with doc strings and declared tunables, then exits —
+ *    so every bench and example answers "what schemes exist?" without
+ *    per-binary code.
  */
 
 #ifndef GPUMP_HARNESS_ARGS_HH
 #define GPUMP_HARNESS_ARGS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,7 +32,9 @@ namespace harness {
 class Args
 {
   public:
-    /** Parse argv; raises fatal() on malformed tokens. */
+    /** Parse argv; raises fatal() on malformed tokens.  A
+     *  --list-schemes flag is handled immediately: the scheme
+     *  registries are printed to stdout and the process exits 0. */
     Args(int argc, char **argv);
 
     /** Config overrides collected from bare key=value tokens. */
@@ -48,6 +56,14 @@ class Args
     sim::Config config_;
     std::map<std::string, std::string> flags_;
 };
+
+/**
+ * Print every registered scheduling policy and preemption mechanism —
+ * name, aliases, one-line doc, and declared tunables with types,
+ * defaults and docs — to @p os.  The --list-schemes implementation,
+ * also usable directly by examples.
+ */
+void printSchemes(std::ostream &os);
 
 } // namespace harness
 } // namespace gpump

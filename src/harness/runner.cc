@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "core/policy.hh"
+#include "core/preemption.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
@@ -13,11 +15,17 @@ namespace harness {
 std::string
 Scheme::label() const
 {
-    std::string base;
-    if (policy == "fcfs" || policy == "npq")
-        base = policy;
-    else
-        base = policy + "/" + mechanism;
+    // Registry-driven: aliases canonicalize ("cs" -> "context_switch")
+    // and policies that never preempt (fcfs, npq, ...) collapse the
+    // mechanism component, so distinct registered schemes can never
+    // share a label.  Unregistered names pass through verbatim (the
+    // label must be printable even for a scheme that will fail to
+    // construct).
+    const auto *pd = core::policyRegistry().find(policy);
+    const auto *md = core::mechanismRegistry().find(mechanism);
+    std::string base = pd ? pd->name : policy;
+    if (pd == nullptr || pd->usesMechanism)
+        base += "/" + (md ? md->name : mechanism);
     if (transferPolicy != "fcfs")
         base += "/" + transferPolicy + "-xfer";
     return base;

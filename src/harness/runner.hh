@@ -42,7 +42,10 @@
 namespace gpump {
 namespace harness {
 
-/** A scheduling scheme: the knobs the paper's figures compare. */
+/** A scheduling scheme: the knobs the paper's figures compare.
+ *  Policy and mechanism names resolve through the core scheme
+ *  registries (core/registry.hh); run any bench with --list-schemes
+ *  for the live list. */
 struct Scheme
 {
     std::string policy = "fcfs";
@@ -50,9 +53,11 @@ struct Scheme
     std::string transferPolicy = "fcfs";
 
     /**
-     * "policy/mechanism" label for reports; the transfer policy is
-     * appended when it is not the default ("fcfs") so that schemes
-     * differing only there do not collide.
+     * "policy/mechanism" label for reports, driven by the registry:
+     * aliases canonicalize, policies that never preempt drop the
+     * mechanism component, and the transfer policy is appended when
+     * it is not the default ("fcfs"), so distinct registered schemes
+     * always get distinct labels.
      */
     std::string label() const;
 };

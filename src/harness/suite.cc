@@ -1,7 +1,10 @@
 #include "harness/suite.hh"
 
+#include <set>
 #include <utility>
 
+#include "core/policy.hh"
+#include "core/preemption.hh"
 #include "harness/report.hh"
 #include "sim/logging.hh"
 
@@ -92,6 +95,28 @@ Suite::schemeNonprioritized(std::string name, Scheme s)
 }
 
 Suite &
+Suite::allSchemes()
+{
+    // Make sure the built-in registrars ran before walking the
+    // registries (see registry.hh on static-archive link anchors).
+    core::linkBuiltinPolicies();
+    core::linkBuiltinMechanisms();
+    for (const std::string &p : core::policyRegistry().list()) {
+        const auto &pd = core::policyRegistry().at(p);
+        if (!pd.usesMechanism) {
+            Scheme s{p, "context_switch", "fcfs"};
+            scheme(s.label(), s);
+            continue;
+        }
+        for (const std::string &m : core::mechanismRegistry().list()) {
+            Scheme s{p, m, "fcfs"};
+            scheme(s.label(), s);
+        }
+    }
+    return *this;
+}
+
+Suite &
 Suite::minReplays(int n)
 {
     minReplays_ = n;
@@ -114,6 +139,30 @@ Suite::build() const
                  name_.c_str());
     GPUMP_ASSERT(!schemes_.empty(), "suite '%s' has no schemes",
                  name_.c_str());
+
+    // Registry-driven validation: fail fast on unknown scheme names
+    // (the registry error lists every registered entry) and on
+    // colliding columns, before any simulation time is spent.
+    core::linkBuiltinPolicies();
+    core::linkBuiltinMechanisms();
+    std::set<std::string> names;
+    std::set<std::string> identities;
+    for (const SchemeSpec &spec : schemes_) {
+        core::policyRegistry().at(spec.scheme.policy);
+        core::mechanismRegistry().at(spec.scheme.mechanism);
+        if (!names.insert(spec.name).second) {
+            sim::fatal("suite '%s' has two scheme columns named '%s'",
+                       name_.c_str(), spec.name.c_str());
+        }
+        std::string identity = spec.scheme.label() + "\n" +
+            spec.overrides.fingerprint() + "\n" +
+            (spec.dropPriorities ? "noprio" : "prio");
+        if (!identities.insert(identity).second) {
+            sim::fatal("suite '%s': columns duplicate the scheme '%s' "
+                       "(same overrides and prioritization)",
+                       name_.c_str(), spec.scheme.label().c_str());
+        }
+    }
 
     Batch batch;
     batch.name = name_;
@@ -143,6 +192,30 @@ Suite::build() const
     return batch;
 }
 
+namespace {
+
+/** Registered doc string of a scheme's policy ("" when unknown). */
+std::string
+policyDocOf(const Scheme &s)
+{
+    const auto *d = core::policyRegistry().find(s.policy);
+    return d ? d->doc : "";
+}
+
+/** Registered doc string of a scheme's mechanism; "" for unknown
+ *  names and for policies the mechanism never acts under. */
+std::string
+mechanismDocOf(const Scheme &s)
+{
+    const auto *pd = core::policyRegistry().find(s.policy);
+    if (pd != nullptr && !pd->usesMechanism)
+        return "";
+    const auto *d = core::mechanismRegistry().find(s.mechanism);
+    return d ? d->doc : "";
+}
+
+} // namespace
+
 std::string
 writeResultsJsonl(const std::string &path, const Batch &batch,
                   const std::vector<RunResult> &results)
@@ -167,6 +240,8 @@ writeResultsJsonl(const std::string &path, const Batch &batch,
                     .add("plan", static_cast<std::int64_t>(pi))
                     .add("scheme", batch.schemes[ci].name)
                     .add("label", r.scheme.label())
+                    .add("policy_doc", policyDocOf(r.scheme))
+                    .add("mechanism_doc", mechanismDocOf(r.scheme))
                     .add("benchmarks", req.plan.benchmarks)
                     .add("seed",
                          sim::strformat("%llu",

@@ -5,8 +5,13 @@
  * Every tunable in the simulator reads its value through a Config so
  * that benches and examples can override any parameter from the
  * command line as "key=value" tokens without recompiling.  Typed
- * accessors validate and convert; unknown keys fall back to the
- * caller-provided default (the model's published value).
+ * accessors validate and convert; absent keys fall back to the
+ * caller-provided default (the model's published value).  Keys under
+ * a config namespace claimed by a registered scheduling scheme
+ * ("dss.*", "adaptive.*", ...) are additionally validated against
+ * the scheme's declared tunables at construction time — unknown or
+ * ill-typed ones are hard errors, not silent no-ops (see
+ * core/registry.hh).
  */
 
 #ifndef GPUMP_SIM_CONFIG_HH

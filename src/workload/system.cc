@@ -59,18 +59,18 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
 
     framework_ = std::make_unique<core::SchedulingFramework>(
         *sim_, gpuParams_, *gmem_, *dispatcher_);
-    framework_->setMechanism(core::makeMechanism(spec_.mechanism));
+    framework_->setMechanism(core::makeMechanism(spec_.mechanism, cfg));
 
-    // DSS equal sharing (Section 4.4): tc = floor(NSMs / Nprocs) per
-    // kernel and the remainder as bonus tokens, unless the caller
-    // overrode the token budget explicitly.
+    // Let the selected policy fill contextual defaults now that the
+    // machine and workload sizes are known (e.g. DSS's equal-share
+    // token budget, Section 4.4: tc = floor(NSMs / Nprocs) plus the
+    // remainder as bonus tokens).
+    const core::PolicyRegistry::Descriptor &policy_desc =
+        core::policyRegistry().at(spec_.policy);
     sim::Config policy_cfg = cfg;
-    if (spec_.policy == "dss" && !cfg.has("dss.tokens_per_kernel")) {
-        int np = static_cast<int>(apps.size());
-        policy_cfg.set("dss.tokens_per_kernel",
-                       static_cast<std::int64_t>(gpuParams_.numSms / np));
-        policy_cfg.set("dss.bonus_tokens",
-                       static_cast<std::int64_t>(gpuParams_.numSms % np));
+    if (policy_desc.assemblyDefaults) {
+        policy_desc.assemblyDefaults(policy_cfg, gpuParams_.numSms,
+                                     static_cast<int>(apps.size()));
     }
     framework_->setPolicy(core::makePolicy(spec_.policy, policy_cfg));
 

@@ -47,9 +47,10 @@ struct SystemSpec
     std::vector<const trace::BenchmarkSpec *> customSpecs;
     /** Per-process priorities; empty = all zero.  Higher wins. */
     std::vector<int> priorities;
-    /** Kernel scheduling policy (core::makePolicy names). */
+    /** Kernel scheduling policy: any core::policyRegistry() name
+     *  (run a bench with --list-schemes for the live list). */
     std::string policy = "fcfs";
-    /** Preemption mechanism (core::makeMechanism names). */
+    /** Preemption mechanism: any core::mechanismRegistry() name. */
     std::string mechanism = "context_switch";
     /** Transfer engine policy: "fcfs" or "priority". */
     std::string transferPolicy = "fcfs";

@@ -7,6 +7,7 @@
 #include "core/dss.hh"
 #include "sim/logging.hh"
 #include "tests/test_util.hh"
+#include "workload/system.hh"
 
 using namespace gpump;
 using test::DeviceRig;
@@ -220,4 +221,36 @@ TEST(Policies, FactoryRejectsUnknown)
 {
     sim::Config cfg;
     EXPECT_THROW(core::makePolicy("lottery", cfg), sim::FatalError);
+}
+
+TEST(Dss, AssemblyDefaultsRespectExplicitOverrides)
+{
+    // The registered assemblyDefaults hook fills the equal-share pair
+    // (tc = floor(NSMs/Np), r = NSMs mod Np) only for keys the caller
+    // left unset; an explicit override is never clobbered.
+    auto bonus_pool_of = [](const sim::Config &overrides) {
+        workload::SystemSpec spec;
+        spec.benchmarks = {"sgemm", "spmv"};
+        spec.policy = "dss";
+        workload::System system(spec, overrides);
+        auto *dss = dynamic_cast<core::DssPolicy *>(
+            &system.framework().policy());
+        EXPECT_NE(dss, nullptr);
+        return dss == nullptr ? -1 : dss->bonusPool();
+    };
+
+    // Neither key set: 13 SMs over 2 processes -> remainder 1.
+    EXPECT_EQ(bonus_pool_of(sim::Config()), 1);
+
+    // Explicit bonus, default tokens: the override survives.
+    sim::Config bonus_only;
+    bonus_only.set("dss.bonus_tokens", static_cast<std::int64_t>(5));
+    EXPECT_EQ(bonus_pool_of(bonus_only), 5);
+
+    // Explicit tokens, default bonus: the remainder is meaningless
+    // next to a caller-chosen budget, so bonus falls back to 0.
+    sim::Config tokens_only;
+    tokens_only.set("dss.tokens_per_kernel",
+                    static_cast<std::int64_t>(4));
+    EXPECT_EQ(bonus_pool_of(tokens_only), 0);
 }

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "core/adaptive.hh"
 #include "sim/logging.hh"
 #include "tests/test_util.hh"
+#include "workload/system.hh"
 
 using namespace gpump;
 using test::DeviceRig;
@@ -183,9 +187,107 @@ TEST(Mechanisms, FactoryNamesAndAliases)
     EXPECT_STREQ(core::makeMechanism("cs")->name(), "context_switch");
     EXPECT_STREQ(core::makeMechanism("draining")->name(), "draining");
     EXPECT_STREQ(core::makeMechanism("drain")->name(), "draining");
+    EXPECT_STREQ(core::makeMechanism("adaptive")->name(), "adaptive");
     EXPECT_THROW(core::makeMechanism("bogus"), sim::FatalError);
     EXPECT_TRUE(core::makeMechanism("cs")->savesContext());
     EXPECT_FALSE(core::makeMechanism("draining")->savesContext());
+    // Adaptive may context-switch, so the PTBQs must exist.
+    EXPECT_TRUE(core::makeMechanism("adaptive")->savesContext());
+}
+
+namespace {
+
+/** Install an AdaptiveMechanism on a rig, keeping a typed handle. */
+core::AdaptiveMechanism *
+installAdaptive(DeviceRig &rig, double bias)
+{
+    auto mech = std::make_unique<core::AdaptiveMechanism>(bias);
+    core::AdaptiveMechanism *raw = mech.get();
+    rig.framework.setMechanism(std::move(mech));
+    return raw;
+}
+
+} // namespace
+
+TEST(Adaptive, DrainsWhenResidentRemainderIsCheap)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    core::AdaptiveMechanism *mech = installAdaptive(rig, 1.0);
+
+    // Short TBs (2 us) with a fat context: 16 TBs/SM x 16 KiB = 256
+    // KiB per SM -> modeled save ~16.5 us.  Draining (<= 2 us) wins.
+    auto lo = test::makeProfile("lo", 2000, 2.0, 4096, 0, 128);
+    auto hi = test::makeProfile("hi", 13, 1.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(10.0));
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run();
+
+    EXPECT_GT(mech->drainsChosen(), 0u);
+    EXPECT_EQ(mech->switchesChosen(), 0u);
+    EXPECT_DOUBLE_EQ(rig.framework.contextBytesSaved(), 0.0)
+        << "cheap drains must not move context bytes";
+    EXPECT_EQ(rig.framework.kernelsCompleted(), 2u);
+}
+
+TEST(Adaptive, SwitchesWhenDrainingWouldStall)
+{
+    DeviceRig rig("ppq_excl", "context_switch");
+    core::AdaptiveMechanism *mech = installAdaptive(rig, 1.0);
+
+    // Long TBs (1000 us) with a slim context: 4 TBs/SM x 16 KiB = 64
+    // KiB per SM -> modeled save ~4.6 us.  Context switch wins.
+    auto lo = test::makeProfile("lo", 2000, 1000.0, 4096, 0, 512);
+    auto hi = test::makeProfile("hi", 13, 1.0);
+    rig.launch(rig.queueFor(0), &lo, 0);
+    rig.run(sim::microseconds(100.0));
+    rig.launch(rig.queueFor(1), &hi, 9);
+    rig.run(sim::milliseconds(20.0));
+
+    EXPECT_GT(mech->switchesChosen(), 0u);
+    EXPECT_EQ(mech->drainsChosen(), 0u);
+    EXPECT_GT(rig.framework.contextBytesSaved(), 0.0);
+}
+
+TEST(Adaptive, BiasSkewsTheDecision)
+{
+    // Same workload, two biases: bias 0 can only drain when the SM is
+    // already at a block boundary (estimate 0), so it context-switches
+    // here; a huge bias always drains.
+    auto run_with = [](double bias) {
+        DeviceRig rig("ppq_excl", "context_switch");
+        core::AdaptiveMechanism *mech = installAdaptive(rig, bias);
+        auto lo = test::makeProfile("lo", 2000, 50.0);
+        auto hi = test::makeProfile("hi", 13, 1.0);
+        rig.launch(rig.queueFor(0), &lo, 0);
+        rig.run(sim::microseconds(10.0));
+        rig.launch(rig.queueFor(1), &hi, 9);
+        rig.run(sim::milliseconds(10.0));
+        return std::make_pair(mech->drainsChosen(),
+                              mech->switchesChosen());
+    };
+    auto [drains0, switches0] = run_with(0.0);
+    EXPECT_EQ(drains0, 0u);
+    EXPECT_GT(switches0, 0u);
+    auto [drainsInf, switchesInf] = run_with(1e12);
+    EXPECT_GT(drainsInf, 0u);
+    EXPECT_EQ(switchesInf, 0u);
+}
+
+TEST(Adaptive, EndToEndThroughSystemSpec)
+{
+    // The mechanism resolves by name through the full workload stack
+    // and finishes a real multiprogrammed run.
+    workload::SystemSpec spec;
+    spec.benchmarks = {"sgemm", "mri-q"};
+    spec.priorities = {0, 5};
+    spec.policy = "ppq_shared";
+    spec.mechanism = "adaptive";
+    spec.minReplays = 2;
+    workload::System system(spec);
+    auto result = system.run(sim::seconds(60.0));
+    for (const auto &runs : result.runs)
+        EXPECT_GE(runs.size(), 2u);
 }
 
 TEST(Mechanisms, ContextSwitchBeatsDrainingForLongTbs)

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "core/aging.hh"
 #include "sim/logging.hh"
 #include "tests/test_util.hh"
+#include "workload/system.hh"
 
 using namespace gpump;
 using test::DeviceRig;
@@ -234,4 +236,124 @@ TEST(Ppq, ThreePriorityLevelsStack)
     EXPECT_EQ(probe.finishes[0].first, "top");
     EXPECT_EQ(probe.finishes[1].first, "mid");
     EXPECT_EQ(probe.finishes[2].first, "low");
+}
+
+// ------------------------------------------------------- PPQ + aging
+
+TEST(PpqAging, BoundsLowPriorityStarvation)
+{
+    // A long high-priority kernel hogs every SM.  Plain PPQ (shared
+    // mode) never preempts on behalf of the low-priority kernel, so
+    // it waits for the tail of the high-priority grid; with aging the
+    // waiting kernel's effective priority climbs past the hog and the
+    // ordinary PPQ preemption path schedules it long before that.
+    auto turnaround_of_lo = [](const std::string &policy,
+                               sim::Config cfg, std::uint64_t *preempts) {
+        DeviceRig rig(policy, "context_switch", std::move(cfg));
+        OrderProbe probe;
+        probe.sim = &rig.sim;
+        rig.framework.setObserver(&probe);
+        auto hog = test::makeProfile("hog", 2000, 50.0);
+        auto lo = test::makeProfile("lo", 13, 10.0);
+        rig.launch(rig.queueFor(0), &hog, 9);
+        rig.run(sim::microseconds(20.0));
+        rig.launch(rig.queueFor(1), &lo, 0);
+        rig.run();
+        *preempts = rig.framework.preemptions();
+        return probe.finishOf("lo");
+    };
+
+    std::uint64_t ppq_preempts = 0;
+    sim::SimTime ppq_done =
+        turnaround_of_lo("ppq_shared", sim::Config(), &ppq_preempts);
+    // Shared-mode PPQ only back-fills: no preemption ever favours the
+    // low-priority kernel.
+    EXPECT_EQ(ppq_preempts, 0u);
+
+    sim::Config aging;
+    aging.set("ppq_aging.interval_us", 100.0);
+    aging.set("ppq_aging.step", static_cast<std::int64_t>(5));
+    aging.set("ppq_aging.max_boost", static_cast<std::int64_t>(50));
+    std::uint64_t aging_preempts = 0;
+    sim::SimTime aging_done =
+        turnaround_of_lo("ppq_aging", aging, &aging_preempts);
+
+    EXPECT_GT(aging_preempts, 0u)
+        << "aging must eventually preempt the hog";
+    EXPECT_LT(aging_done, ppq_done)
+        << "aged low-priority kernel must finish well before the "
+           "plain-PPQ tail";
+}
+
+TEST(PpqAging, ServedKernelsCarryNoBoost)
+{
+    // While a kernel holds SMs its effective priority is its launch
+    // priority: a freshly boosted-and-served kernel must not invert
+    // the order permanently.
+    sim::Config cfg;
+    cfg.set("ppq_aging.interval_us", 100.0);
+    cfg.set("ppq_aging.step", static_cast<std::int64_t>(5));
+    DeviceRig rig("ppq_aging", "context_switch", cfg);
+    auto *policy =
+        dynamic_cast<core::PpqAgingPolicy *>(&rig.framework.policy());
+    ASSERT_NE(policy, nullptr);
+
+    auto hog = test::makeProfile("hog", 2000, 50.0);
+    rig.launch(rig.queueFor(0), &hog, 9);
+    rig.run(sim::microseconds(20.0));
+    // The only active kernel holds SMs: zero boost.
+    ASSERT_EQ(rig.framework.activeKernels().size(), 1u);
+    EXPECT_EQ(policy->boostOf(rig.framework.activeKernels()[0]), 0);
+
+    auto lo = test::makeProfile("lo", 13, 10.0);
+    rig.launch(rig.queueFor(1), &lo, 0);
+    // One aging interval in (boost 5), below the hog's priority 9:
+    // lo is still waiting, hog is still served boost-free.
+    rig.run(sim::microseconds(180.0));
+    ASSERT_EQ(rig.framework.activeKernels().size(), 2u);
+    const gpu::KernelExec *hog_k = rig.framework.activeKernels()[0];
+    const gpu::KernelExec *lo_k = rig.framework.activeKernels()[1];
+    EXPECT_EQ(policy->boostOf(hog_k), 0);
+    EXPECT_EQ(policy->boostOf(lo_k), 5);
+    EXPECT_GT(policy->ticks(), 0u);
+    rig.run();
+}
+
+TEST(PpqAging, FactoryValidatesTunables)
+{
+    sim::Config bad_interval;
+    bad_interval.set("ppq_aging.interval_us", -1.0);
+    EXPECT_THROW(core::makePolicy("ppq_aging", bad_interval),
+                 sim::FatalError);
+
+    sim::Config bad_step;
+    bad_step.set("ppq_aging.step", static_cast<std::int64_t>(-2));
+    EXPECT_THROW(core::makePolicy("ppq_aging", bad_step),
+                 sim::FatalError);
+
+    // Typo'd tunable: rejected with the nearest declared key named.
+    sim::Config typo;
+    typo.set("ppq_aging.intervalus", 10.0);
+    try {
+        core::makePolicy("ppq_aging", typo);
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("ppq_aging.interval_us"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PpqAging, EndToEndWorkload)
+{
+    workload::SystemSpec spec;
+    spec.benchmarks = {"sgemm", "spmv", "mri-q"};
+    spec.priorities = {0, 0, 9};
+    spec.policy = "ppq_aging";
+    spec.mechanism = "adaptive";
+    spec.minReplays = 2;
+    workload::System system(spec);
+    auto result = system.run(sim::seconds(120.0));
+    for (const auto &runs : result.runs)
+        EXPECT_GE(runs.size(), 2u);
 }

@@ -12,6 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+#include <string>
+
+#include "core/policy.hh"
+#include "core/preemption.hh"
 #include "harness/suite.hh"
 #include "sim/logging.hh"
 
@@ -248,4 +253,102 @@ TEST(Runner, GoldenFig5QuickAggregatePinned)
 
     constexpr double kGolden = 1.4130172243592014;
     EXPECT_NEAR(avg, kGolden, 1e-9) << "pinned fig5 aggregate moved";
+}
+
+TEST(Suite, AllSchemesSpansTheRegistryCrossProduct)
+{
+    // No manual linkBuiltin* calls: allSchemes() itself must make the
+    // built-in registrars visible.
+    Suite suite("all");
+    suite.sizes({2}).uniform(1, 1).allSchemes();
+    Batch batch = suite.build();
+
+    // Expected column count: preempting policies x mechanisms, plus
+    // one column per non-preemptive policy.
+    std::size_t expected = 0;
+    for (const std::string &p : core::policyRegistry().list()) {
+        expected += core::policyRegistry().at(p).usesMechanism
+            ? core::mechanismRegistry().list().size()
+            : 1;
+    }
+    EXPECT_EQ(batch.schemes.size(), expected);
+    EXPECT_GE(batch.schemes.size(),
+              6u + 2u * (core::mechanismRegistry().size() - 1));
+
+    // Column names are the labels, and they are unique.
+    std::set<std::string> names;
+    for (const auto &spec : batch.schemes) {
+        EXPECT_EQ(spec.name, spec.scheme.label());
+        EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    }
+}
+
+TEST(Suite, BuildValidatesSchemeNamesAndCollisions)
+{
+    // Unknown policy: rejected at build time, before any simulation.
+    Suite bad_policy("s");
+    bad_policy.uniform(1, 1).scheme(
+        "X", {"not_a_policy", "context_switch", "fcfs"});
+    EXPECT_THROW(bad_policy.build(), sim::FatalError);
+
+    Suite bad_mech("s");
+    bad_mech.uniform(1, 1).scheme("X", {"fcfs", "not_a_mech", "fcfs"});
+    EXPECT_THROW(bad_mech.build(), sim::FatalError);
+
+    // Two columns with the same name are indistinguishable in
+    // reports.
+    Suite dup_name("s");
+    dup_name.uniform(1, 1)
+        .scheme("X", {"fcfs", "context_switch", "fcfs"})
+        .scheme("X", {"dss", "context_switch", "fcfs"});
+    EXPECT_THROW(dup_name.build(), sim::FatalError);
+
+    // Two columns that are the same scheme end to end (label +
+    // overrides + prioritization) are a bug even under distinct
+    // names; alias spellings count as the same scheme.
+    Suite dup_scheme("s");
+    dup_scheme.uniform(1, 1)
+        .scheme("A", {"dss", "context_switch", "fcfs"})
+        .scheme("B", {"dss", "cs", "fcfs"});
+    EXPECT_THROW(dup_scheme.build(), sim::FatalError);
+
+    // ... but differing overrides make a legitimate ablation pair.
+    sim::Config ablate;
+    ablate.set("dss.retarget", false);
+    Suite ablation("s");
+    ablation.sizes({2}).uniform(1, 1)
+        .scheme("A", {"dss", "context_switch", "fcfs"})
+        .scheme("B", {"dss", "context_switch", "fcfs"}, ablate);
+    EXPECT_NO_THROW(ablation.build());
+}
+
+TEST(Runner, GoldenFig7QuickAggregatePinned)
+{
+    // Second pinned figure aggregate (see GoldenFig5QuickAggregate):
+    // the 2-process cell of `fig7_dss --quick`, mean ANTT improvement
+    // of DSS/context-switch over FCFS across the three uniform plans.
+    sim::Config cfg;
+    cfg.set("gpu.tb_time_cv", 0.25); // figureConfig default
+
+    Suite suite("fig7");
+    suite.sizes({2})
+        .uniform(/*count=*/3, /*base_seed=*/20140614)
+        .minReplays(2) // --quick
+        .scheme("FCFS", {"fcfs", "context_switch", "fcfs"})
+        .scheme("DSS-CS", {"dss", "context_switch", "fcfs"});
+    Batch batch = suite.build();
+
+    Runner runner(cfg, /*jobs=*/2);
+    auto results = runner.run(batch.requests);
+
+    double sum = 0;
+    for (std::size_t pi = 0; pi < batch.numPlans(0); ++pi) {
+        double base = results[batch.indexOf(0, pi, 0)].metrics.antt;
+        double dss = results[batch.indexOf(0, pi, 1)].metrics.antt;
+        sum += base / dss;
+    }
+    double avg = sum / static_cast<double>(batch.numPlans(0));
+
+    constexpr double kGolden = 1.0022550475518892;
+    EXPECT_NEAR(avg, kGolden, 1e-9) << "pinned fig7 aggregate moved";
 }

@@ -74,7 +74,8 @@ struct DeviceRig
         xfer.setCompletionNotifier([this](gpu::CommandQueue *q) {
             dispatcher.onCommandCompleted(q);
         });
-        framework.setMechanism(core::makeMechanism(mechanism));
+        framework.setMechanism(
+            core::makeMechanism(mechanism, sim.config()));
         framework.setPolicy(core::makePolicy(policy, sim.config()));
     }
 
