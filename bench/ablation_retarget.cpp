@@ -46,6 +46,7 @@ main(int argc, char **argv)
     harness::Batch batch = suite.build();
 
     harness::Runner runner(args.config(), opt.jobs);
+    opt.configureRunner(runner);
     runner.setProgress(progressMeter("ablation_retarget"));
     auto results = runner.run(batch.requests);
 

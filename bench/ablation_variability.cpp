@@ -51,6 +51,7 @@ main(int argc, char **argv)
     harness::Batch batch = suite.build();
 
     harness::Runner runner(args.config(), opt.jobs);
+    opt.configureRunner(runner);
     runner.setProgress(progressMeter("ablation_cv"));
     auto results = runner.run(batch.requests);
 

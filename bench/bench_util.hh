@@ -8,6 +8,7 @@
 #ifndef GPUMP_BENCH_BENCH_UTIL_HH
 #define GPUMP_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -38,6 +39,12 @@ struct BenchOptions
     bool csv = false;
     /** Worker threads for the batch runner (--jobs=N; default 1). */
     int jobs = 1;
+    /** Intra-run shard workers (--shards=N; default 1 = off): each
+     *  run's independent isolated-baseline replays execute on this
+     *  many workers concurrently with the run itself, with a
+     *  deterministic merge — output is byte-identical for any value
+     *  (see Runner::setRunShards). */
+    int shards = 1;
     /** JSON-lines output path; empty = disabled.  Bare --jsonl picks
      *  results/<bench>.jsonl. */
     std::string jsonl;
@@ -45,8 +52,8 @@ struct BenchOptions
     /**
      * Parse from args: --quick shrinks everything for smoke runs;
      * --sizes/--per-bench/--workloads/--replays/--seed/--csv/--jobs/
-     * --jsonl[=path] override.  @p bench_name names the default
-     * JSONL file.
+     * --shards/--jsonl[=path] override.  @p bench_name names the
+     * default JSONL file.
      */
     static BenchOptions fromArgs(const harness::Args &args,
                                  const std::string &bench_name)
@@ -68,8 +75,16 @@ struct BenchOptions
             args.flagInt("seed", static_cast<std::int64_t>(o.seed)));
         o.csv = args.hasFlag("csv");
         o.jobs = static_cast<int>(args.flagInt("jobs", o.jobs));
+        o.shards = static_cast<int>(args.flagInt("shards", o.shards));
         o.jsonl = jsonlPath(args, bench_name);
         return o;
+    }
+
+    /** Apply the parallelism knobs (--jobs is passed at construction;
+     *  --shards is a setter) to @p runner. */
+    void configureRunner(harness::Runner &runner) const
+    {
+        runner.setRunShards(shards);
     }
 
     static std::string jsonlPath(const harness::Args &args,
@@ -159,9 +174,14 @@ progressMeter(std::string what)
     return [what = std::move(what)](std::size_t done, std::size_t total,
                                     const harness::RunRequest &req,
                                     const harness::RunResult &res) {
+        // eventsPerSec is NaN when the run took no measurable wall
+        // time; print 0 rather than "nan" in the human meter.
+        double evps = res.eventsPerSec();
+        if (!std::isfinite(evps))
+            evps = 0.0;
         std::fprintf(stderr, "[%s] %zu/%zu done (%s) %.2fM ev/s\n",
                      what.c_str(), done, total, req.tag.c_str(),
-                     res.eventsPerSec() / 1e6);
+                     evps / 1e6);
     };
 }
 

@@ -14,8 +14,8 @@
  *
  * Usage: fig5_ppq_ntt [--quick] [--per-bench=N] [--replays=N]
  *                     [--seed=N] [--sizes=2,4,...] [--jobs=N]
- *                     [--csv] [--jsonl[=path]] [--mechanism=NAME]
- *                     [key=value ...]
+ *                     [--shards=N] [--csv] [--jsonl[=path]]
+ *                     [--mechanism=NAME] [key=value ...]
  *
  * --mechanism=NAME swaps the context-switch column's preemption
  * mechanism for any registered one (e.g. --mechanism=adaptive; see
@@ -70,6 +70,7 @@ main(int argc, char **argv)
     harness::Batch batch = suite.build();
 
     harness::Runner runner(figureConfig(args), opt.jobs);
+    opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig5"));
     auto results = runner.run(batch.requests);
 

@@ -43,6 +43,7 @@ main(int argc, char **argv)
     harness::Batch batch = suite.build();
 
     harness::Runner runner(figureConfig(args), opt.jobs);
+    opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig7"));
     auto results = runner.run(batch.requests);
 

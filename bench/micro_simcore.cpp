@@ -138,6 +138,88 @@ BM_MultiprogrammedDssRun(benchmark::State &state)
 }
 BENCHMARK(BM_MultiprogrammedDssRun)->Unit(benchmark::kMillisecond);
 
+/** A replay-heavy synthetic application: many short trace ops (CPU
+ *  phases, async copies, small kernel launches) per execution, so the
+ *  per-op replay machinery — command creation, stream submission,
+ *  dispatcher hand-off, replay bookkeeping — dominates over kernel
+ *  simulation.  This is the workload-layer hot path in isolation. */
+const trace::BenchmarkSpec &
+replayHeavySpec()
+{
+    static const trace::BenchmarkSpec spec = [] {
+        trace::BenchmarkSpec s;
+        s.name = "replaybench";
+        s.dataset = "synthetic";
+        trace::KernelProfile k;
+        k.benchmark = s.name;
+        k.kernel = "tick";
+        k.launches = 16;
+        // A tiny grid: the point of this benchmark is the replay
+        // machinery around each launch, not thread-block simulation
+        // (BM_WorkloadIssueLoop and BM_MultiprogrammedDssRun cover
+        // the TB-heavy mix).
+        k.numThreadBlocks = 2;
+        k.timePerTbUs = 4.0;
+        k.regsPerTb = 2048;
+        k.threadsPerTb = 128;
+        s.kernels.push_back(k);
+        using Kind = trace::TraceOp::Kind;
+        for (int i = 0; i < k.launches; ++i) {
+            s.ops.push_back(
+                {Kind::CpuPhase, sim::microseconds(3.0), 0, -1, true});
+            s.ops.push_back(
+                {Kind::MemcpyH2D, 0, 64 * 1024, -1, false});
+            s.ops.push_back({Kind::KernelLaunch, 0, 0, 0, true});
+        }
+        s.ops.push_back({Kind::DeviceSync, 0, 0, -1, true});
+        s.ops.push_back({Kind::MemcpyD2H, 0, 256 * 1024, -1, true});
+        s.validate();
+        return s;
+    }();
+    return spec;
+}
+
+void
+BM_ProcessReplay(benchmark::State &state)
+{
+    // Four processes replaying the synthetic trace 20 times each;
+    // reports workload-layer throughput in events/second.
+    const trace::BenchmarkSpec &app = replayHeavySpec();
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        workload::SystemSpec spec;
+        spec.customSpecs = {&app, &app, &app, &app};
+        spec.minReplays = 20;
+        workload::System system(spec);
+        auto result = system.run(sim::seconds(60.0));
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ProcessReplay)->Unit(benchmark::kMillisecond);
+
+void
+BM_WorkloadIssueLoop(benchmark::State &state)
+{
+    // The figure benches' configuration (lognormal TB durations,
+    // cv = 0.25): every fresh thread block issued draws from the RNG,
+    // so this measures the batched-draw issue loop end to end.
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::Config cfg;
+        cfg.set("gpu.tb_time_cv", 0.25);
+        workload::SystemSpec spec;
+        spec.benchmarks = {"sgemm", "histo", "spmv", "mri-q"};
+        spec.policy = "dss";
+        spec.minReplays = 1;
+        workload::System system(spec, cfg);
+        auto result = system.run(sim::seconds(30.0));
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WorkloadIssueLoop)->Unit(benchmark::kMillisecond);
+
 void
 BM_RunnerBatch(benchmark::State &state)
 {

@@ -3,10 +3,15 @@
 #
 # Builds the Release configuration (the perf numbers are meaningless
 # under Debug/sanitizers), runs the Google-Benchmark micro suite's
-# event-core and end-to-end cases, and writes the JSON results to
-# BENCH_simcore.json at the repo root so the perf trajectory is
-# tracked in-tree from PR to PR.  Compare against the committed
-# baseline before and after touching sim/, gpu/ or core/ hot paths.
+# event-core, workload-layer and end-to-end cases, and writes the JSON
+# results to BENCH_simcore.json at the repo root so the perf
+# trajectory is tracked in-tree from PR to PR.  Compare against the
+# committed baseline before and after touching sim/, gpu/, core/ or
+# workload/ hot paths.
+#
+# The emitted file is validated as *strict* JSON (python's default
+# json module accepts NaN/Infinity; we reject them) so a non-finite
+# number can never land in the committed baseline unnoticed.
 #
 # Usage: scripts/bench_simcore.sh [output.json]
 #   BUILD_DIR  build directory (default: build-bench, Release)
@@ -17,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${1:-BENCH_simcore.json}
-FILTER=${FILTER:-'BM_EventQueueScheduleRun|BM_EventQueueCancelHalf|BM_IsolatedRun|BM_MultiprogrammedDssRun'}
+FILTER=${FILTER:-'BM_EventQueueScheduleRun|BM_EventQueueCancelHalf|BM_IsolatedRun|BM_MultiprogrammedDssRun|BM_ProcessReplay|BM_WorkloadIssueLoop'}
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
@@ -29,16 +34,36 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro_simcore \
     exit 1
 }
 
+# The workload-layer benchmarks must exist in the binary: a silently
+# missing BM_ProcessReplay (renamed, gated out, filtered away) would
+# leave the committed baseline stale without anyone noticing.
+for bench in BM_ProcessReplay BM_WorkloadIssueLoop \
+    BM_MultiprogrammedDssRun; do
+    "$BUILD_DIR/bench/bench_micro_simcore" --benchmark_list_tests \
+        | grep -qx "$bench" || {
+        echo "error: $bench missing from the gbench listing" >&2
+        exit 1
+    }
+done
+
 "$BUILD_DIR/bench/bench_micro_simcore" \
     --benchmark_filter="$FILTER" \
     --benchmark_repetitions="${REPS:-3}" \
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json > "$OUT"
 
-# Human-readable digest next to the raw JSON.
+# Validate strict JSON (catches the bare-nan class of bug forever),
+# then print a human-readable digest next to the raw file.
 python3 - "$OUT" << 'EOF'
 import json, sys
-data = json.load(open(sys.argv[1]))
+
+def reject_nonfinite(tok):
+    raise ValueError(f"non-strict JSON constant {tok!r} in output")
+
+text = open(sys.argv[1]).read()
+data = json.loads(text, parse_constant=reject_nonfinite)
+print(f"{sys.argv[1]}: strict JSON ok ({len(text)} bytes)")
+
 ctx = data.get("context", {})
 print(f"host: {ctx.get('host_name', '?')}  "
       f"cpus: {ctx.get('num_cpus', '?')}  date: {ctx.get('date', '?')}")

@@ -58,10 +58,10 @@ void
 DssPolicy::admit()
 {
     while (!fw_->activeQueueFull()) {
-        auto waiting = fw_->waitingBuffers();
-        if (waiting.empty())
+        sim::ContextId ctx = fw_->frontWaitingBuffer();
+        if (ctx == sim::invalidContext)
             break;
-        gpu::KernelExec *k = fw_->admit(waiting.front());
+        gpu::KernelExec *k = fw_->admit(ctx);
         int weight = weightByPriority_
             ? 1 + std::max(0, k->priority())
             : 1;

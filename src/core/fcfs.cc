@@ -37,10 +37,10 @@ void
 FcfsPolicy::admit()
 {
     while (!fw_->activeQueueFull()) {
-        auto waiting = fw_->waitingBuffers();
-        if (waiting.empty())
+        sim::ContextId ctx = fw_->frontWaitingBuffer();
+        if (ctx == sim::invalidContext)
             break;
-        fw_->admit(waiting.front());
+        fw_->admit(ctx);
     }
 }
 

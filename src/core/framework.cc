@@ -69,9 +69,14 @@ SchedulingFramework::offerKernel(const gpu::CommandPtr &cmd)
 {
     GPUMP_ASSERT(cmd && cmd->isKernel(), "offerKernel with non-kernel");
     GPUMP_ASSERT(policy_ != nullptr, "no scheduling policy installed");
-    auto [it, inserted] = buffers_.try_emplace(cmd->ctx, cmd);
-    if (!inserted)
+    GPUMP_ASSERT(cmd->ctx >= 0, "kernel command with invalid context");
+    auto idx = static_cast<std::size_t>(cmd->ctx);
+    if (idx >= buffers_.size())
+        buffers_.resize(idx + 1);
+    if (buffers_[idx] != nullptr)
         return false; // buffer occupied
+    buffers_[idx] = cmd;
+    ++buffered_;
     policy_->onCommandWaiting(cmd->ctx);
     return true;
 }
@@ -80,29 +85,58 @@ std::vector<sim::ContextId>
 SchedulingFramework::waitingBuffers() const
 {
     std::vector<sim::ContextId> out;
-    out.reserve(buffers_.size());
-    for (const auto &kv : buffers_)
-        out.push_back(kv.first);
+    waitingBuffers(out);
+    return out;
+}
+
+void
+SchedulingFramework::waitingBuffers(std::vector<sim::ContextId> &out) const
+{
+    out.clear();
+    out.reserve(buffered_);
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+        if (buffers_[i] != nullptr)
+            out.push_back(static_cast<sim::ContextId>(i));
+    }
     std::sort(out.begin(), out.end(),
               [this](sim::ContextId a, sim::ContextId b) {
-                  return buffers_.at(a)->seq < buffers_.at(b)->seq;
+                  return buffers_[static_cast<std::size_t>(a)]->seq <
+                      buffers_[static_cast<std::size_t>(b)]->seq;
               });
-    return out;
+}
+
+sim::ContextId
+SchedulingFramework::frontWaitingBuffer() const
+{
+    if (buffered_ == 0)
+        return sim::invalidContext;
+    sim::ContextId front = sim::invalidContext;
+    std::uint64_t front_seq = 0;
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+        const gpu::CommandPtr &cmd = buffers_[i];
+        if (cmd == nullptr)
+            continue;
+        if (front == sim::invalidContext || cmd->seq < front_seq) {
+            front = static_cast<sim::ContextId>(i);
+            front_seq = cmd->seq;
+        }
+    }
+    return front;
 }
 
 bool
 SchedulingFramework::hasBufferedCommand(sim::ContextId ctx) const
 {
-    return buffers_.count(ctx) != 0;
+    auto idx = static_cast<std::size_t>(ctx);
+    return ctx >= 0 && idx < buffers_.size() && buffers_[idx] != nullptr;
 }
 
 const gpu::CommandPtr &
 SchedulingFramework::bufferedCommand(sim::ContextId ctx) const
 {
-    auto it = buffers_.find(ctx);
-    GPUMP_ASSERT(it != buffers_.end(), "no buffered command for ctx %d",
-                 ctx);
-    return it->second;
+    GPUMP_ASSERT(hasBufferedCommand(ctx),
+                 "no buffered command for ctx %d", ctx);
+    return buffers_[static_cast<std::size_t>(ctx)];
 }
 
 bool
@@ -122,12 +156,13 @@ gpu::KernelExec *
 SchedulingFramework::admit(sim::ContextId ctx)
 {
     GPUMP_ASSERT(!activeQueueFull(), "admit with a full active queue");
-    auto it = buffers_.find(ctx);
-    GPUMP_ASSERT(it != buffers_.end(),
+    GPUMP_ASSERT(hasBufferedCommand(ctx),
                  "admit for ctx %d with empty command buffer", ctx);
 
-    gpu::CommandPtr cmd = it->second;
-    buffers_.erase(it);
+    gpu::CommandPtr cmd =
+        std::move(buffers_[static_cast<std::size_t>(ctx)]);
+    buffers_[static_cast<std::size_t>(ctx)] = nullptr;
+    --buffered_;
 
     GPUMP_ASSERT(!freeKsrs_.empty(), "active queue and KSRT out of sync");
     sim::KsrIndex ksr = freeKsrs_.back();
@@ -139,14 +174,20 @@ SchedulingFramework::admit(sim::ContextId ctx)
     int ptbq_capacity = preemptedFirst_
         ? ptbqCapacityPerKernel(params_)
         : std::numeric_limits<int>::max();
-    ksrt_[static_cast<std::size_t>(ksr)] =
-        std::make_unique<gpu::KernelExec>(ksr, cmd, params_,
-                                          ptbq_capacity);
-    gpu::KernelExec *k = ksrt_[static_cast<std::size_t>(ksr)].get();
-    activeQueue_.push_back(k);
-
     kernelQueueTimeUs_.sample(
         sim::toMicroseconds(sim_->now() - cmd->enqueuedAt));
+    std::unique_ptr<gpu::KernelExec> &slot =
+        ksrt_[static_cast<std::size_t>(ksr)];
+    if (!ksrPool_.empty()) {
+        slot = std::move(ksrPool_.back());
+        ksrPool_.pop_back();
+        slot->assign(ksr, std::move(cmd), params_, ptbq_capacity);
+    } else {
+        slot = std::make_unique<gpu::KernelExec>(ksr, std::move(cmd),
+                                                 params_, ptbq_capacity);
+    }
+    gpu::KernelExec *k = slot.get();
+    activeQueue_.push_back(k);
     if (observer_)
         observer_->kernelAdmitted(*k);
 
@@ -233,15 +274,26 @@ SchedulingFramework::finishSetup(gpu::Sm *sm)
     issueThreadBlocks(sm);
 }
 
-sim::SimTime
-SchedulingFramework::sampleTbDuration(const gpu::KernelExec &k)
+void
+SchedulingFramework::placeResident(gpu::Sm *sm, gpu::KernelExec *k,
+                                   int tb_index, sim::SimTime duration)
 {
-    sim::SimTime base = k.profile().tbDuration();
-    if (params_.tbTimeCv <= 0.0)
-        return base;
-    double us = sim_->rng().lognormal(sim::toMicroseconds(base),
-                                      params_.tbTimeCv);
-    return std::max<sim::SimTime>(1, sim::microseconds(us));
+    gpu::ResidentTb tb;
+    tb.tbIndex = tb_index;
+    tb.startedAt = sim_->now();
+    tb.endAt = sim_->now() + duration;
+    // Reserve the FIFO sequence the old one-event-per-TB design
+    // would have consumed here; the timeline event is armed with
+    // it, so same-instant completions still interleave across SMs
+    // in issue order.
+    tb.seq = sim_->events().reserveSeq();
+    sm->insertResident(tb);
+    k->tbStarted();
+    if (!k->startedIssuing) {
+        k->startedIssuing = true;
+        if (observer_)
+            observer_->kernelStarted(*k);
+    }
 }
 
 void
@@ -252,41 +304,69 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
         return;
 
     gpu::KernelExec *k = sm->kernel;
-    while (sm->freeSlots() > 0 && k->hasIssuableTbs()) {
-        int tb_index;
-        sim::SimTime duration;
-        bool take_preempted = preemptedFirst_
-            ? k->hasPreemptedTbs()
-            : (k->hasPreemptedTbs() && !k->hasFreshTbs());
-        if (take_preempted) {
-            // Preempted blocks are re-issued first (Section 3.3);
-            // their context is restored before execution resumes.
+
+    // Within one fill the taken blocks form (at most) two contiguous
+    // segments — preempted then fresh under preempted-first issue,
+    // the reverse under the fresh-first ablation — because taking a
+    // block never makes the preferred source non-empty again.  Sizing
+    // the segments up front lets every fresh-TB duration be drawn in
+    // one batched RNG call (identical draws, in the original loop's
+    // order) instead of re-deriving the lognormal's parameters per
+    // block.
+    int slots = sm->freeSlots();
+    int pre_avail = static_cast<int>(k->ptbqDepth());
+    int fresh_avail = k->totalTbs() - k->issuedFresh();
+    int n_pre, n_fresh;
+    if (preemptedFirst_) {
+        n_pre = std::min(slots, pre_avail);
+        n_fresh = std::min(slots - n_pre, fresh_avail);
+    } else {
+        n_fresh = std::min(slots, fresh_avail);
+        n_pre = std::min(slots - n_fresh, pre_avail);
+    }
+
+    auto issue_preempted = [&] {
+        // Preempted blocks are re-issued first (Section 3.3); their
+        // context is restored before execution resumes.  The restore
+        // cost depends only on the kernel, so it is hoisted out of
+        // the loop.
+        if (n_pre <= 0)
+            return;
+        sim::SimTime restore =
+            gmem_->moveTime(k->contextBytesPerTb(), params_.numSms);
+        for (int i = 0; i < n_pre; ++i) {
             gpu::PreemptedTb pt = k->takePreemptedTb();
-            tb_index = pt.tbIndex;
-            duration = gmem_->moveTime(k->contextBytesPerTb(),
-                                       params_.numSms) +
-                pt.remaining;
+            placeResident(sm, k, pt.tbIndex, restore + pt.remaining);
             ++tbsRestored_;
-        } else {
-            tb_index = k->takeFreshTb();
-            duration = sampleTbDuration(*k);
         }
-        gpu::ResidentTb tb;
-        tb.tbIndex = tb_index;
-        tb.startedAt = sim_->now();
-        tb.endAt = sim_->now() + duration;
-        // Reserve the FIFO sequence the old one-event-per-TB design
-        // would have consumed here; the timeline event is armed with
-        // it, so same-instant completions still interleave across SMs
-        // in issue order.
-        tb.seq = sim_->events().reserveSeq();
-        sm->insertResident(tb);
-        k->tbStarted();
-        if (!k->startedIssuing) {
-            k->startedIssuing = true;
-            if (observer_)
-                observer_->kernelStarted(*k);
+    };
+    auto issue_fresh = [&] {
+        if (n_fresh <= 0)
+            return;
+        sim::SimTime base = k->profile().tbDuration();
+        if (params_.tbTimeCv <= 0.0) {
+            for (int i = 0; i < n_fresh; ++i)
+                placeResident(sm, k, k->takeFreshTb(), base);
+            return;
         }
+        auto n = static_cast<std::size_t>(n_fresh);
+        tbDurationsUs_.resize(n);
+        sim_->rng().fillLognormal(tbDurationsUs_.data(), n,
+                                  sim::toMicroseconds(base),
+                                  params_.tbTimeCv);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto duration = std::max<sim::SimTime>(
+                1, sim::microseconds(tbDurationsUs_[i]));
+            placeResident(sm, k, k->takeFreshTb(), duration);
+        }
+    };
+
+    if (preemptedFirst_) {
+        issue_preempted();
+        issue_fresh();
+    } else {
+        issue_fresh();
+        issue_preempted();
     }
     armCompletion(sm);
 
@@ -505,12 +585,12 @@ SchedulingFramework::finalizeKernel(gpu::KernelExec *k)
     policy_->onKernelFinished(owned.get());
 
     gpu::CommandPtr cmd = owned->command();
-    owned.reset();
+    owned->releaseCommand();
+    ksrPool_.push_back(std::move(owned)); // recycled by the next admit
 
     if (cmd->queue != nullptr)
         dispatcher_->onCommandCompleted(cmd->queue);
-    if (cmd->onComplete)
-        cmd->onComplete();
+    cmd->complete();
 }
 
 } // namespace core

@@ -19,7 +19,6 @@
 #ifndef GPUMP_CORE_FRAMEWORK_HH
 #define GPUMP_CORE_FRAMEWORK_HH
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -88,6 +87,15 @@ class SchedulingFramework : public gpu::KernelSink
 
     /** Contexts with a buffered command, in arrival (seq) order. */
     std::vector<sim::ContextId> waitingBuffers() const;
+    /** Allocation-free variant: clears and refills @p out (policies
+     *  keep a scratch vector across calls on the admit hot path). */
+    void waitingBuffers(std::vector<sim::ContextId> &out) const;
+    /** The earliest-arrived buffered context — waitingBuffers()
+     *  .front() without materializing the vector — or
+     *  sim::invalidContext when nothing is buffered.  The admit loops
+     *  of arrival-ordered policies run on every command arrival and
+     *  kernel completion, so this probe must not allocate. */
+    sim::ContextId frontWaitingBuffer() const;
     bool hasBufferedCommand(sim::ContextId ctx) const;
     const gpu::CommandPtr &bufferedCommand(sim::ContextId ctx) const;
     /** @} */
@@ -203,7 +211,10 @@ class SchedulingFramework : public gpu::KernelSink
     void armCompletion(gpu::Sm *sm);
     void smBecameIdle(gpu::Sm *sm);
     void finalizeKernel(gpu::KernelExec *k);
-    sim::SimTime sampleTbDuration(const gpu::KernelExec &k);
+    /** Place one TB (index @p tb_index, running for @p duration) on
+     *  @p sm's timeline with a freshly reserved completion sequence. */
+    void placeResident(gpu::Sm *sm, gpu::KernelExec *k, int tb_index,
+                       sim::SimTime duration);
 
     sim::Simulation *sim_;
     gpu::GpuParams params_;
@@ -222,12 +233,28 @@ class SchedulingFramework : public gpu::KernelSink
     /** KSRT: slot -> active kernel (empty slot = nullptr). */
     std::vector<std::unique_ptr<gpu::KernelExec>> ksrt_;
     std::vector<sim::KsrIndex> freeKsrs_;
+    /** Retired KernelExec objects recycled by admit(): kernel launch
+     *  is per-replay work, and a fresh KernelExec costs an allocation
+     *  plus its PTBQ deque's initial node — the recycled object keeps
+     *  both. */
+    std::vector<std::unique_ptr<gpu::KernelExec>> ksrPool_;
     /** Active queue, admission order. */
     std::vector<gpu::KernelExec *> activeQueue_;
-    /** Per-context single-command buffers. */
-    std::map<sim::ContextId, gpu::CommandPtr> buffers_;
+    /**
+     * Per-context single-command buffers, flat-indexed by context id
+     * (context ids are small and dense — one per process).  Replaced
+     * a std::map: the buffer probe runs on every kernel offer, admit
+     * and policy decision, so it must be an array load, not a tree
+     * walk.  Grown on demand; empty slot = nullptr.
+     */
+    std::vector<gpu::CommandPtr> buffers_;
+    /** Occupied slots of buffers_ (fast emptiness/size probes). */
+    std::size_t buffered_ = 0;
     /** Per-SM reservation timestamps (preemption latency stat). */
     std::vector<sim::SimTime> reserveTime_;
+    /** Scratch for batched fresh-TB duration draws (issueThreadBlocks);
+     *  member so the capacity survives across waves. */
+    std::vector<double> tbDurationsUs_;
 
     sim::Scalar kernelsCompleted_;
     sim::Scalar tbsCompleted_;

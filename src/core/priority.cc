@@ -40,14 +40,16 @@ void
 NpqPolicy::admit()
 {
     while (!fw_->activeQueueFull()) {
-        auto waiting = fw_->waitingBuffers();
-        if (waiting.empty())
+        // waitingScratch_ is reused across calls: admission runs on
+        // every command arrival, so the probe must not allocate.
+        fw_->waitingBuffers(waitingScratch_);
+        if (waitingScratch_.empty())
             break;
         // Highest buffered priority first; FCFS within a level
         // (waitingBuffers is already in arrival order).
-        sim::ContextId best = waiting.front();
+        sim::ContextId best = waitingScratch_.front();
         int best_prio = fw_->bufferedCommand(best)->priority;
-        for (sim::ContextId ctx : waiting) {
+        for (sim::ContextId ctx : waitingScratch_) {
             int prio = fw_->bufferedCommand(ctx)->priority;
             if (prio > best_prio) {
                 best = ctx;

@@ -60,6 +60,10 @@ class NpqPolicy : public SchedulingPolicy
 
     /** Hand idle SMs to kernels in priority order (non-preemptive). */
     void schedule();
+
+  private:
+    /** Reused by admit() so the per-arrival probe never allocates. */
+    std::vector<sim::ContextId> waitingScratch_;
 };
 
 /** Preemptive priority queues. */

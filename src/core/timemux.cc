@@ -56,10 +56,10 @@ void
 TimeMuxPolicy::admit()
 {
     while (!fw_->activeQueueFull()) {
-        auto waiting = fw_->waitingBuffers();
-        if (waiting.empty())
+        sim::ContextId ctx = fw_->frontWaitingBuffer();
+        if (ctx == sim::invalidContext)
             break;
-        fw_->admit(waiting.front()); // arrival order
+        fw_->admit(ctx); // arrival order
     }
 }
 

@@ -1,36 +1,132 @@
 #include "gpu/command.hh"
 
+#include <new>
+
+#include "gpu/gpu_context.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
 namespace gpu {
 
-std::shared_ptr<Command>
-Command::makeKernel(sim::ContextId ctx, int priority,
-                    const trace::KernelProfile *profile)
+void
+Command::complete()
+{
+    if (notifyCtx != nullptr)
+        notifyCtx->commandCompleted();
+    if (onComplete)
+        onComplete();
+}
+
+void
+Command::dispose(Command *c) noexcept
+{
+    // Both allocation paths (pool blocks and the plain-new heap
+    // factories) are raw ::operator new storage, so explicit
+    // destruction + operator delete / recycle covers both.
+    CommandPool *pool = c->pool_;
+    c->~Command();
+    if (pool != nullptr)
+        pool->recycle(c);
+    else
+        ::operator delete(c);
+}
+
+namespace {
+
+/** Shared validation + field initialization of the pooled and heap
+ *  factories, so the two paths cannot drift apart.  @p alloc runs
+ *  after validation, so a panicking argument never leaks a block. @{ */
+template <typename Alloc>
+Command *
+makeKernelWith(Alloc &&alloc, sim::ContextId ctx, int priority,
+               const trace::KernelProfile *profile)
 {
     GPUMP_ASSERT(profile != nullptr, "kernel command without a profile");
-    auto cmd = std::make_shared<Command>();
-    cmd->kind = Kind::KernelLaunch;
+    Command *cmd = alloc();
+    cmd->kind = Command::Kind::KernelLaunch;
     cmd->ctx = ctx;
     cmd->priority = priority;
     cmd->profile = profile;
     return cmd;
 }
 
-std::shared_ptr<Command>
-Command::makeMemcpy(sim::ContextId ctx, int priority, Kind direction,
-                    std::int64_t bytes)
+template <typename Alloc>
+Command *
+makeMemcpyWith(Alloc &&alloc, sim::ContextId ctx, int priority,
+               Command::Kind direction, std::int64_t bytes)
 {
-    GPUMP_ASSERT(direction != Kind::KernelLaunch,
+    GPUMP_ASSERT(direction != Command::Kind::KernelLaunch,
                  "memcpy command with kernel kind");
     GPUMP_ASSERT(bytes >= 0, "negative memcpy size");
-    auto cmd = std::make_shared<Command>();
+    Command *cmd = alloc();
     cmd->kind = direction;
     cmd->ctx = ctx;
     cmd->priority = priority;
     cmd->bytes = bytes;
     return cmd;
+}
+/** @} */
+
+Command *
+heapCommand()
+{
+    return new (::operator new(sizeof(Command))) Command;
+}
+
+} // namespace
+
+CommandPtr
+Command::makeKernel(sim::ContextId ctx, int priority,
+                    const trace::KernelProfile *profile)
+{
+    return CommandPtr::adopt(
+        makeKernelWith(heapCommand, ctx, priority, profile));
+}
+
+CommandPtr
+Command::makeMemcpy(sim::ContextId ctx, int priority, Kind direction,
+                    std::int64_t bytes)
+{
+    return CommandPtr::adopt(
+        makeMemcpyWith(heapCommand, ctx, priority, direction, bytes));
+}
+
+CommandPool::~CommandPool()
+{
+    for (void *block : free_)
+        ::operator delete(block);
+}
+
+Command *
+CommandPool::acquire()
+{
+    void *block;
+    if (!free_.empty()) {
+        block = free_.back();
+        free_.pop_back();
+    } else {
+        block = ::operator new(sizeof(Command));
+        ++allocated_;
+    }
+    Command *cmd = new (block) Command;
+    cmd->pool_ = this;
+    return cmd;
+}
+
+CommandPtr
+CommandPool::makeKernel(sim::ContextId ctx, int priority,
+                        const trace::KernelProfile *profile)
+{
+    return CommandPtr::adopt(makeKernelWith(
+        [this] { return acquire(); }, ctx, priority, profile));
+}
+
+CommandPtr
+CommandPool::makeMemcpy(sim::ContextId ctx, int priority,
+                        Command::Kind direction, std::int64_t bytes)
+{
+    return CommandPtr::adopt(makeMemcpyWith(
+        [this] { return acquire(); }, ctx, priority, direction, bytes));
 }
 
 } // namespace gpu

@@ -1,5 +1,7 @@
 #include "gpu/dispatcher.hh"
 
+#include <utility>
+
 #include "gpu/transfer_engine.hh"
 #include "sim/logging.hh"
 
@@ -42,6 +44,8 @@ Dispatcher::enqueue(CommandQueue *queue, const CommandPtr &cmd)
     cmd->seq = nextSeq_++;
     cmd->enqueuedAt = sim_->now();
     cmd->queue = queue;
+    if (!queue->busy_ && queue->fifo_.empty())
+        ++readyQueues_; // idle and empty -> head now actionable
     queue->fifo_.push_back(cmd);
     inspect();
 }
@@ -52,6 +56,8 @@ Dispatcher::onCommandCompleted(CommandQueue *queue)
     GPUMP_ASSERT(queue != nullptr, "completion for null queue");
     GPUMP_ASSERT(queue->busy_, "completion for a queue with nothing issued");
     queue->busy_ = false;
+    if (!queue->fifo_.empty())
+        ++readyQueues_;
     inspect();
 }
 
@@ -82,6 +88,15 @@ Dispatcher::inspect()
     inspecting_ = true;
     do {
         reinspect_ = false;
+        // readyQueues_ counts queues whose head is actionable (not
+        // busy, non-empty); when it is zero — the common case after a
+        // completion that empties its queue — the scan over every
+        // hardware queue can be skipped entirely.  A scan with zero
+        // ready queues would have dispatched nothing, so skipping it
+        // is behaviour-preserving (kernel stalls leave their queue
+        // counted ready and are rescanned on onKernelBufferFreed).
+        if (readyQueues_ == 0)
+            break;
         for (auto &q : queues_) {
             if (q->busy_ || q->fifo_.empty())
                 continue;
@@ -92,14 +107,16 @@ Dispatcher::inspect()
                 if (kernelSink_->offerKernel(head)) {
                     q->busy_ = true;
                     q->fifo_.pop_front();
+                    --readyQueues_;
                     ++dispatched_;
                 } else {
                     ++kernelStalls_;
                 }
             } else {
-                CommandPtr cmd = head;
+                CommandPtr cmd = std::move(q->fifo_.front());
                 q->busy_ = true;
                 q->fifo_.pop_front();
+                --readyQueues_;
                 ++dispatched_;
                 transferEngine_->submit(cmd);
             }

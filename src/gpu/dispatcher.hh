@@ -114,6 +114,10 @@ class Dispatcher
     std::uint64_t nextSeq_ = 0;
     bool inspecting_ = false;
     bool reinspect_ = false;
+    /** Queues whose head is actionable (!busy && !empty), maintained
+     *  incrementally so inspect() can skip the all-queues scan when
+     *  there is provably nothing to dispatch. */
+    std::size_t readyQueues_ = 0;
 
     sim::Scalar dispatched_;
     sim::Scalar kernelStalls_;

@@ -66,6 +66,10 @@ class GpuContext
     memory::PageTable pageTable_;
     int outstanding_ = 0;
     std::vector<std::function<void()>> waiters_;
+    /** Reused firing list (capacity survives across device syncs) and
+     *  its re-entrancy guard; see commandCompleted(). */
+    std::vector<std::function<void()>> firingScratch_;
+    bool firingWaiters_ = false;
 };
 
 } // namespace gpu

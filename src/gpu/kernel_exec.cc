@@ -7,13 +7,31 @@ namespace gpu {
 
 KernelExec::KernelExec(sim::KsrIndex ksr, CommandPtr cmd,
                        const GpuParams &params, int ptbq_capacity)
-    : ksr_(ksr), cmd_(std::move(cmd)),
-      occupancy_(maxTbsPerSm(*cmd_->profile, params)),
-      ctxBytesPerTb_(cmd_->profile->contextBytesPerTb()),
-      totalTbs_(cmd_->profile->numThreadBlocks),
-      ptbqCapacity_(ptbq_capacity)
 {
-    GPUMP_ASSERT(cmd_->isKernel(), "KernelExec from non-kernel command");
+    assign(ksr, std::move(cmd), params, ptbq_capacity);
+}
+
+void
+KernelExec::assign(sim::KsrIndex ksr, CommandPtr cmd,
+                   const GpuParams &params, int ptbq_capacity)
+{
+    GPUMP_ASSERT(cmd != nullptr && cmd->isKernel(),
+                 "KernelExec from non-kernel command");
+    ksr_ = ksr;
+    cmd_ = std::move(cmd);
+    occupancy_ = maxTbsPerSm(*cmd_->profile, params);
+    ctxBytesPerTb_ = cmd_->profile->contextBytesPerTb();
+    totalTbs_ = cmd_->profile->numThreadBlocks;
+    ptbqCapacity_ = ptbq_capacity;
+    nextFresh_ = 0;
+    completed_ = 0;
+    running_ = 0;
+    ptbq_.clear();
+    tokens = 0;
+    hasBonusToken = false;
+    smsHeld = 0;
+    smsReserved = 0;
+    startedIssuing = false;
     GPUMP_ASSERT(totalTbs_ > 0, "kernel %s with empty grid",
                  cmd_->profile->fullName().c_str());
 }

@@ -47,6 +47,20 @@ class KernelExec
     KernelExec(sim::KsrIndex ksr, CommandPtr cmd, const GpuParams &params,
                int ptbq_capacity);
 
+    /**
+     * Reinitialize a recycled entry for a new kernel (same semantics
+     * as constructing one).  The framework pools retired KernelExec
+     * objects: a kernel launch happens once per trace op per replay,
+     * and reassignment keeps the object's PTBQ storage instead of
+     * paying an allocation per launch.
+     */
+    void assign(sim::KsrIndex ksr, CommandPtr cmd,
+                const GpuParams &params, int ptbq_capacity);
+
+    /** Drop the command reference before the object parks in the
+     *  recycle pool (the command must be completable independently). */
+    void releaseCommand() { cmd_.reset(); }
+
     /** @name Identity
      * @{ */
     sim::KsrIndex ksr() const { return ksr_; }

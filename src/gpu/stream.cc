@@ -27,20 +27,24 @@ Stream::enqueue(CommandPtr cmd)
                  cmd->ctx, ctx_->id());
 
     ctx_->commandEnqueued();
-    auto user_cb = std::move(cmd->onComplete);
-    GpuContext *ctx = ctx_;
-    cmd->onComplete = [ctx, user_cb = std::move(user_cb)] {
-        ctx->commandCompleted();
-        if (user_cb)
-            user_cb();
-    };
+    cmd->notifyCtx = ctx_;
+    submitPipe_.push_back(std::move(cmd));
 
     // Same-time events fire in scheduling order, so a burst of
-    // enqueues stays in order through the submission delay.
-    sim_->events().scheduleIn(
-        submitLatency_,
-        [this, cmd] { dispatcher_->enqueue(queue_, cmd); },
-        sim::prioDriver);
+    // enqueues stays in order through the submission delay and the
+    // fired event always matches the pipe head.
+    sim_->events().scheduleIn(submitLatency_, [this] { submitHead(); },
+                              sim::prioDriver);
+}
+
+void
+Stream::submitHead()
+{
+    GPUMP_ASSERT(!submitPipe_.empty(),
+                 "submission event fired on an empty pipe");
+    CommandPtr cmd = std::move(submitPipe_.front());
+    submitPipe_.pop_front();
+    dispatcher_->enqueue(queue_, cmd);
 }
 
 } // namespace gpu

@@ -7,12 +7,22 @@
  * enforces this because a stream maps onto one hardware command queue
  * and the dispatcher issues at most one command per queue at a time.
  * The stream's job here is the CPU-side plumbing: stamping context
- * accounting, chaining completion callbacks and charging the
+ * accounting, wiring the completion notification and charging the
  * CPU-to-GPU submission latency.
+ *
+ * Hot-path note: commands in the submission pipe (enqueued but not
+ * yet past the submission latency) are owned by a FIFO inside the
+ * stream, so the submission event captures only `this` — a trivially
+ * copyable capture that stays inline in the event slab instead of
+ * forcing the shared_ptr onto the heap-fallback path.  Events with
+ * equal delay fire in scheduling order, so popping the FIFO head is
+ * exactly the command the fired event was armed for.
  */
 
 #ifndef GPUMP_GPU_STREAM_HH
 #define GPUMP_GPU_STREAM_HH
+
+#include <deque>
 
 #include "gpu/command.hh"
 #include "gpu/dispatcher.hh"
@@ -42,16 +52,22 @@ class Stream
      * Enqueue @p cmd.  The command reaches the hardware queue after
      * the submission latency; its onComplete (if any) runs when the
      * command finishes on the device, after the context's outstanding
-     * count has been decremented.
+     * count has been decremented (see Command::complete).
      */
     void enqueue(CommandPtr cmd);
 
   private:
+    /** Submission latency elapsed: hand the pipe head to the
+     *  dispatcher. */
+    void submitHead();
+
     sim::Simulation *sim_;
     GpuContext *ctx_;
     Dispatcher *dispatcher_;
     CommandQueue *queue_;
     sim::SimTime submitLatency_;
+    /** Commands in flight between enqueue() and the dispatcher. */
+    std::deque<CommandPtr> submitPipe_;
 };
 
 } // namespace gpu

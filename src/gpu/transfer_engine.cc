@@ -71,15 +71,16 @@ TransferEngine::startNext()
     serviceTime_.sample(sim::toMicroseconds(duration));
     bus_->recordTransfer(current_->bytes, duration);
 
-    CommandPtr cmd = current_;
     sim_->events().scheduleIn(
-        duration, [this, cmd] { finish(cmd); }, sim::prioCompletion);
+        duration, [this] { finishCurrent(); }, sim::prioCompletion);
 }
 
 void
-TransferEngine::finish(CommandPtr cmd)
+TransferEngine::finishCurrent()
 {
-    GPUMP_ASSERT(current_ == cmd, "transfer completion out of order");
+    GPUMP_ASSERT(current_ != nullptr,
+                 "transfer completion with nothing in flight");
+    CommandPtr cmd = std::move(current_);
     current_ = nullptr;
     ++transfersDone_;
 
@@ -87,8 +88,7 @@ TransferEngine::finish(CommandPtr cmd)
     // visible to the dispatcher, then run the software callback.
     if (notifier_ && cmd->queue)
         notifier_(cmd->queue);
-    if (cmd->onComplete)
-        cmd->onComplete();
+    cmd->complete();
 
     if (!busy())
         startNext();

@@ -58,7 +58,10 @@ class TransferEngine
 
   private:
     void startNext();
-    void finish(CommandPtr cmd);
+    /** Completion event fired for the in-flight transfer.  The event
+     *  captures only `this` (inline in the event slab); the command
+     *  itself is owned by current_ until this runs. */
+    void finishCurrent();
 
     sim::Simulation *sim_;
     memory::PcieBus *bus_;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -107,13 +108,15 @@ struct RunResult
      * @{ */
     /** Wall-clock seconds Runner::execute spent in System::run. */
     double wallSeconds = 0.0;
-    /** Simulator throughput over sys.eventsExecuted; 0 when the run
-     *  took no measurable time. */
+    /** Simulator throughput over sys.eventsExecuted; quiet NaN when
+     *  the run took no measurable wall time (unknown rate, not zero).
+     *  Consistent with the non-finite-metrics convention: the JSONL
+     *  writer serializes it as null rather than a misleading 0. */
     double eventsPerSec() const
     {
         return wallSeconds > 0.0
             ? static_cast<double>(sys.eventsExecuted) / wallSeconds
-            : 0.0;
+            : std::numeric_limits<double>::quiet_NaN();
     }
     /** @} */
 };
@@ -183,6 +186,28 @@ class Runner
     void setJobs(int jobs);
     int jobs() const { return jobs_; }
 
+    /**
+     * Intra-run sharding: worker threads used *within* one request.
+     *
+     * A multiprogrammed run needs one isolated-baseline replay per
+     * distinct benchmark in its plan (the denominators of its
+     * Eyerman-Eeckhout metrics).  Those replays are independent
+     * simulations, so with shards > 1 they execute on a small worker
+     * pool concurrently with the request's own multiprogrammed
+     * simulation, and the results are merged in process order once
+     * everything joins.  The merge is deterministic and bit-identical
+     * to shards == 1 for any shard count: every replay is a pure
+     * function of (benchmark, replays, config) with a fixed seed, and
+     * the memoizing baseline cache guarantees each is computed
+     * exactly once no matter which worker gets there first — the same
+     * contract as run()'s --jobs determinism (DESIGN.md §4, §7).
+     *
+     * Clamped to >= 1; 1 (the default) keeps the request fully
+     * serial in its calling thread.
+     */
+    void setRunShards(int shards);
+    int runShards() const { return runShards_; }
+
     void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
@@ -215,6 +240,7 @@ class Runner
 
     sim::Config base_;
     int jobs_ = 1;
+    int runShards_ = 1;
     ProgressFn progress_;
     IsolatedBaselineCache baselines_;
 };

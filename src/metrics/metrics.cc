@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -18,17 +19,36 @@ computeMetrics(const std::vector<double> &isolated_us,
     if (isolated_us.empty())
         sim::fatal("metrics: empty workload");
 
+    // Degenerate inputs — a zero/non-finite isolated baseline (an
+    // empty or degenerate plan) or turnaround — must not abort a
+    // whole batch over one broken cell.  The affected ratios become
+    // quiet NaN and propagate into ANTT/STP/fairness; the report
+    // writers serialize every non-finite double as JSON null, so the
+    // output stays valid and the breakage stays visible.
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+
     SystemMetrics m;
     m.ntt.reserve(isolated_us.size());
+    bool degenerate = false;
     for (std::size_t i = 0; i < isolated_us.size(); ++i) {
-        if (isolated_us[i] <= 0.0 || multi_us[i] <= 0.0)
-            sim::fatal("metrics: non-positive execution time for "
-                       "process %zu", i);
-        m.ntt.push_back(multi_us[i] / isolated_us[i]);
-        m.stp += isolated_us[i] / multi_us[i];
+        double iso = isolated_us[i];
+        double mul = multi_us[i];
+        if (iso > 0.0 && mul > 0.0 && std::isfinite(iso) &&
+            std::isfinite(mul)) {
+            m.ntt.push_back(mul / iso);
+            m.stp += iso / mul;
+        } else {
+            m.ntt.push_back(nan);
+            m.stp = nan;
+            degenerate = true;
+        }
     }
     m.antt = mean(m.ntt);
 
+    if (degenerate) {
+        m.fairness = nan;
+        return m;
+    }
     double lo = *std::min_element(m.ntt.begin(), m.ntt.end());
     double hi = *std::max_element(m.ntt.begin(), m.ntt.end());
     m.fairness = hi > 0.0 ? lo / hi : 0.0;

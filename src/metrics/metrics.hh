@@ -41,7 +41,11 @@ struct SystemMetrics
  * @param multi_us    per-process mean turnaround times inside the
  *                    multiprogrammed workload.
  *
- * Raises fatal() on size mismatch or non-positive times.
+ * Raises fatal() on size mismatch or an empty workload.  A
+ * non-positive or non-finite time (a degenerate plan or baseline)
+ * does NOT abort: the affected NTT entry — and therefore ANTT, STP
+ * and fairness — becomes quiet NaN, which the report writers
+ * serialize as JSON null (see harness/report.hh).
  */
 SystemMetrics computeMetrics(const std::vector<double> &isolated_us,
                              const std::vector<double> &multi_us);

@@ -25,6 +25,18 @@ rotl(std::uint64_t x, int k)
     return (x << k) | (x >> (64 - k));
 }
 
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+/** Smallest nonzero value uniform() can return (53 mantissa bits). */
+constexpr double kMinUniform = 0x1.0p-53;
+
+/** Remap a zero unit-interval draw to the smallest nonzero one, so
+ *  log(u) stays finite without a rejection loop (fixed draw count). */
+double
+nonzero(double u)
+{
+    return u > 0.0 ? u : kMinUniform;
+}
+
 } // namespace
 
 Rng::Rng(std::uint64_t seed_value)
@@ -87,21 +99,36 @@ Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
     GPUMP_ASSERT(lo <= hi, "uniformInt: empty range [%lld, %lld]",
                  static_cast<long long>(lo), static_cast<long long>(hi));
-    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(uniformInt(span));
+    // The width hi - lo + 1 can exceed INT64_MAX (and the naive
+    // signed subtraction overflows, which is UB); do all range
+    // arithmetic in uint64, where wrap-around is defined and the
+    // width is exact.  A span of 0 means the range covers the entire
+    // 64-bit domain, so any raw draw is a valid sample.
+    std::uint64_t span = static_cast<std::uint64_t>(hi) -
+        static_cast<std::uint64_t>(lo) + 1;
+    std::uint64_t offset = span == 0 ? next() : uniformInt(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     offset);
+}
+
+double
+Rng::boxMuller(double u1, double u2)
+{
+    return std::sqrt(-2.0 * std::log(nonzero(u1))) *
+        std::cos(kTwoPi * u2);
 }
 
 double
 Rng::normal()
 {
-    // Box-Muller; draw both uniforms every call so that the stream
-    // consumed per sample is fixed (important for reproducibility).
+    // Box-Muller; both uniforms are drawn every call and a zero u1 is
+    // remapped (not redrawn), so the raw-draw stream consumed per
+    // sample is fixed — the invariant the batched fill* APIs and the
+    // reproducibility contract rely on — and the result is finite for
+    // every possible draw.
     double u1 = uniform();
     double u2 = uniform();
-    while (u1 <= 0.0)
-        u1 = uniform();
-    return std::sqrt(-2.0 * std::log(u1)) *
-        std::cos(2.0 * 3.14159265358979323846 * u2);
+    return boxMuller(u1, u2);
 }
 
 double
@@ -128,10 +155,50 @@ double
 Rng::exponential(double mean)
 {
     GPUMP_ASSERT(mean > 0.0, "exponential: mean must be positive");
-    double u = uniform();
-    while (u <= 0.0)
-        u = uniform();
-    return -mean * std::log(u);
+    return -mean * std::log(nonzero(uniform()));
+}
+
+void
+Rng::fillUniform(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = uniform();
+}
+
+void
+Rng::fillNormal(double *out, std::size_t n, double mean, double stddev)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = mean + stddev * normal();
+}
+
+void
+Rng::fillLognormal(double *out, std::size_t n, double mean, double cv)
+{
+    GPUMP_ASSERT(mean > 0.0, "lognormal: mean must be positive");
+    GPUMP_ASSERT(cv >= 0.0, "lognormal: cv must be non-negative");
+    if (cv == 0.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = mean;
+        return;
+    }
+    // The (mu, sigma) solve — two logs and a square root per sample
+    // in the sequential path — is hoisted out of the loop; each
+    // sample then runs exactly the arithmetic lognormal() runs, so
+    // the outputs are bit-identical to n sequential calls.
+    double sigma2 = std::log(1.0 + cv * cv);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    double sigma = std::sqrt(sigma2);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::exp(normal(mu, sigma));
+}
+
+void
+Rng::fillExponential(double *out, std::size_t n, double mean)
+{
+    GPUMP_ASSERT(mean > 0.0, "exponential: mean must be positive");
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = -mean * std::log(nonzero(uniform()));
 }
 
 Rng

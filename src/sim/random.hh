@@ -7,12 +7,22 @@
  * avoid std::{mt19937,distributions} (whose outputs are not pinned
  * across implementations for all distributions) and implement
  * xoshiro256** plus the handful of distributions the models need.
+ *
+ * Every distribution consumes a FIXED number of raw draws per sample
+ * (uniform/exponential: 1, normal/lognormal: 2).  That invariant is
+ * what makes the batched fill* APIs below bit-identical to sequential
+ * single-sample calls: a batch of n samples consumes exactly the
+ * draws the n sequential calls would have, in the same order, and
+ * performs the same per-sample arithmetic — only the per-call
+ * parameter setup (the lognormal's (mu, sigma) solve, the normal's
+ * scaling) is hoisted out of the loop.
  */
 
 #ifndef GPUMP_SIM_RANDOM_HH
 #define GPUMP_SIM_RANDOM_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace gpump {
@@ -51,7 +61,14 @@ class Rng
      */
     std::uint64_t uniformInt(std::uint64_t n);
 
-    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    /**
+     * Uniform integer in [lo, hi] inclusive. @pre lo <= hi
+     *
+     * The range width is computed in unsigned 64-bit arithmetic, so
+     * ranges spanning most (or all) of the int64 domain — where
+     * `hi - lo + 1` overflows a signed 64-bit integer — are handled
+     * exactly; [INT64_MIN, INT64_MAX] degenerates to a raw draw.
+     */
     std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
 
     /** Standard normal via Box-Muller (deterministic, no cache). */
@@ -59,6 +76,18 @@ class Rng
 
     /** Normal with the given mean and standard deviation. */
     double normal(double mean, double stddev);
+
+    /**
+     * The Box-Muller transform on two unit-interval draws.
+     *
+     * A zero @p u1 (which uniform() produces with probability 2^-53)
+     * is remapped to 2^-53, the smallest nonzero value uniform() can
+     * return, so the logarithm — and therefore normal(), lognormal()
+     * and every duration sampled from them — can never be infinite.
+     * The remap (rather than a rejection loop) keeps the per-sample
+     * draw count fixed, which the batched fill* APIs rely on.
+     */
+    static double boxMuller(double u1, double u2);
 
     /**
      * Lognormal parameterised by its *linear-domain* mean and
@@ -75,6 +104,24 @@ class Rng
 
     /** Exponential with the given mean. @pre mean > 0 */
     double exponential(double mean);
+
+    /** @name Batched draws
+     * Fill out[0..n) with samples.  Each produces the exact bit
+     * pattern the corresponding n sequential single-sample calls
+     * would have produced (same raw-draw consumption, same per-sample
+     * arithmetic), while hoisting the per-call parameter setup out of
+     * the loop — the issue loop's amortization win when sampling a
+     * wave of thread-block durations from one kernel profile.
+     * @{ */
+    void fillUniform(double *out, std::size_t n);
+    void fillNormal(double *out, std::size_t n, double mean,
+                    double stddev);
+    /** @pre mean > 0, cv >= 0 */
+    void fillLognormal(double *out, std::size_t n, double mean,
+                       double cv);
+    /** @pre mean > 0 */
+    void fillExponential(double *out, std::size_t n, double mean);
+    /** @} */
 
     /**
      * Fork a child generator with an independent stream.

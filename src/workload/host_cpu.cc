@@ -22,39 +22,12 @@ CpuParams::fromConfig(const sim::Config &cfg)
 }
 
 HostCpu::HostCpu(sim::Simulation &sim, const CpuParams &params)
-    : params_(params),
+    : params_(params), hwThreads_(params.hwThreads()),
       phases_(sim.stats(), "cpu.phases", "CPU phases executed"),
       oversubscribedPhases_(sim.stats(), "cpu.oversubscribed_phases",
                             "phases started with more runnable threads "
                             "than hardware threads")
 {
-}
-
-void
-HostCpu::beginPhase()
-{
-    ++running_;
-    ++phases_;
-    if (running_ > params_.hwThreads())
-        ++oversubscribedPhases_;
-}
-
-void
-HostCpu::endPhase()
-{
-    GPUMP_ASSERT(running_ > 0, "endPhase with no phase running");
-    --running_;
-}
-
-double
-HostCpu::slowdownFactor() const
-{
-    if (!params_.modelContention)
-        return 1.0;
-    int hw = params_.hwThreads();
-    if (running_ <= hw)
-        return 1.0;
-    return static_cast<double>(running_) / static_cast<double>(hw);
 }
 
 } // namespace workload

@@ -14,6 +14,7 @@
 #define GPUMP_WORKLOAD_HOST_CPU_HH
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -38,7 +39,10 @@ struct CpuParams
     static CpuParams fromConfig(const sim::Config &cfg);
 };
 
-/** The host CPU: tracks how many processes compute simultaneously. */
+/** The host CPU: tracks how many processes compute simultaneously.
+ *  The per-phase methods are inline: every replayed CPU phase passes
+ *  through begin/slowdown/end, so they sit on the workload layer's
+ *  per-event hot path. */
 class HostCpu
 {
   public:
@@ -47,10 +51,20 @@ class HostCpu
     const CpuParams &params() const { return params_; }
 
     /** A process enters a CPU phase. */
-    void beginPhase();
+    void beginPhase()
+    {
+        ++running_;
+        ++phases_;
+        if (running_ > hwThreads_)
+            ++oversubscribedPhases_;
+    }
 
     /** A process leaves its CPU phase. */
-    void endPhase();
+    void endPhase()
+    {
+        GPUMP_ASSERT(running_ > 0, "endPhase with no phase running");
+        --running_;
+    }
 
     /** Number of processes currently in a CPU phase. */
     int running() const { return running_; }
@@ -61,10 +75,18 @@ class HostCpu
      * (Coarse: the factor is sampled at phase start, matching the
      * granularity of the paper's CPU model.)
      */
-    double slowdownFactor() const;
+    double slowdownFactor() const
+    {
+        if (!params_.modelContention || running_ <= hwThreads_)
+            return 1.0;
+        return static_cast<double>(running_) /
+            static_cast<double>(hwThreads_);
+    }
 
   private:
     CpuParams params_;
+    /** params_.hwThreads(), precomputed off the per-phase path. */
+    int hwThreads_;
     int running_ = 0;
     sim::Scalar phases_;
     sim::Scalar oversubscribedPhases_;

@@ -8,14 +8,40 @@ namespace workload {
 Process::Process(sim::Simulation &sim, sim::ProcessId id,
                  const trace::BenchmarkSpec *spec, int priority,
                  HostCpu &cpu, gpu::GpuContext &ctx, gpu::Stream &stream,
-                 double launch_overhead_us)
+                 gpu::CommandPool &pool, double launch_overhead_us)
     : sim_(&sim), id_(id), spec_(spec), priority_(priority), cpu_(&cpu),
-      ctx_(&ctx), stream_(&stream),
+      ctx_(&ctx), stream_(&stream), pool_(&pool),
       launchOverhead_(sim::microseconds(launch_overhead_us))
 {
     GPUMP_ASSERT(spec != nullptr, "process without a benchmark");
     GPUMP_ASSERT(!spec->ops.empty(), "benchmark %s has an empty trace",
                  spec->name.c_str());
+
+    // Compile the trace once: resolve kernel indices to profile
+    // pointers and memcpy kinds to command kinds, so the replay loop
+    // is a flat array walk with no per-replay re-derivation.
+    ops_.reserve(spec->ops.size());
+    for (const trace::TraceOp &op : spec->ops) {
+        ReplayOp r;
+        r.kind = op.kind;
+        r.synchronous = op.synchronous;
+        r.duration = op.duration;
+        r.bytes = op.bytes;
+        r.memcpyKind = op.kind == trace::TraceOp::Kind::MemcpyH2D
+            ? gpu::Command::Kind::MemcpyH2D
+            : gpu::Command::Kind::MemcpyD2H;
+        r.profile = nullptr;
+        if (op.kind == trace::TraceOp::Kind::KernelLaunch) {
+            GPUMP_ASSERT(op.kernelIndex >= 0 &&
+                             static_cast<std::size_t>(op.kernelIndex) <
+                                 spec->kernels.size(),
+                         "benchmark %s: kernel index %d out of range",
+                         spec->name.c_str(), op.kernelIndex);
+            r.profile =
+                &spec->kernels[static_cast<std::size_t>(op.kernelIndex)];
+        }
+        ops_.push_back(r);
+    }
 }
 
 void
@@ -24,6 +50,13 @@ Process::start()
     runStart_ = sim_->now();
     cursor_ = 0;
     step();
+}
+
+void
+Process::reserveRuns(int n)
+{
+    if (n > 0)
+        records_.reserve(static_cast<std::size_t>(n));
 }
 
 double
@@ -49,69 +82,70 @@ Process::step()
 {
     using Kind = trace::TraceOp::Kind;
 
-    while (cursor_ < spec_->ops.size()) {
-        const trace::TraceOp &op = spec_->ops[cursor_];
-        switch (op.kind) {
-          case Kind::CpuPhase: {
-            // Stretch under oversubscription, sampled at phase start
-            // (coarse-grained CPU model, Section 4.1).
-            auto duration = static_cast<sim::SimTime>(
-                static_cast<double>(op.duration) *
-                cpu_->slowdownFactor());
-            cpu_->beginPhase();
-            sim_->events().scheduleIn(duration, [this] {
-                cpu_->endPhase();
-                opDone();
-            });
-            return;
-          }
-          case Kind::KernelLaunch: {
-            auto cmd = gpu::Command::makeKernel(
-                ctx_->id(), priority_,
-                &spec_->kernels[static_cast<std::size_t>(op.kernelIndex)]);
-            stream_->enqueue(std::move(cmd));
-            // The launch API call costs a little host time.
-            sim_->events().scheduleIn(launchOverhead_,
-                                      [this] { opDone(); });
-            return;
-          }
-          case Kind::MemcpyH2D:
-          case Kind::MemcpyD2H: {
-            auto direction = op.kind == Kind::MemcpyH2D
-                ? gpu::Command::Kind::MemcpyH2D
-                : gpu::Command::Kind::MemcpyD2H;
-            auto cmd = gpu::Command::makeMemcpy(ctx_->id(), priority_,
-                                                direction, op.bytes);
-            if (op.synchronous) {
-                cmd->onComplete = [this] { opDone(); };
+    // Outer loop = replays; the trace restarts immediately when it
+    // ends (paper Section 4.1), so a run boundary must not grow the
+    // stack the way the old tail-recursive replay did.
+    for (;;) {
+        const ReplayOp *ops = ops_.data();
+        const std::size_t n = ops_.size();
+        while (cursor_ < n) {
+            const ReplayOp &op = ops[cursor_];
+            switch (op.kind) {
+              case Kind::CpuPhase: {
+                // Stretch under oversubscription, sampled at phase
+                // start (coarse-grained CPU model, Section 4.1).
+                auto duration = static_cast<sim::SimTime>(
+                    static_cast<double>(op.duration) *
+                    cpu_->slowdownFactor());
+                cpu_->beginPhase();
+                sim_->events().scheduleIn(duration, [this] {
+                    cpu_->endPhase();
+                    opDone();
+                });
+                return;
+              }
+              case Kind::KernelLaunch: {
+                stream_->enqueue(
+                    pool_->makeKernel(ctx_->id(), priority_, op.profile));
+                // The launch API call costs a little host time.
+                sim_->events().scheduleIn(launchOverhead_,
+                                          [this] { opDone(); });
+                return;
+              }
+              case Kind::MemcpyH2D:
+              case Kind::MemcpyD2H: {
+                auto cmd = pool_->makeMemcpy(ctx_->id(), priority_,
+                                             op.memcpyKind, op.bytes);
+                if (op.synchronous) {
+                    cmd->onComplete = [this] { opDone(); };
+                    stream_->enqueue(std::move(cmd));
+                    return; // blocked until the copy finishes
+                }
                 stream_->enqueue(std::move(cmd));
-                return; // blocked until the copy finishes
-            }
-            stream_->enqueue(std::move(cmd));
-            ++cursor_;
-            break; // asynchronous: fall through to the next op
-          }
-          case Kind::DeviceSync: {
-            if (ctx_->idle()) {
                 ++cursor_;
-                break;
+                break; // asynchronous: fall through to the next op
+              }
+              case Kind::DeviceSync: {
+                if (ctx_->idle()) {
+                    ++cursor_;
+                    break;
+                }
+                ctx_->waitIdle([this] { opDone(); });
+                return;
+              }
             }
-            ctx_->waitIdle([this] { opDone(); });
-            return;
-          }
         }
+
+        // Trace exhausted: one execution completed.  Replay
+        // immediately: the next execution's first CPU phase provides
+        // the natural inter-run gap.
+        records_.push_back(RunRecord{runStart_, sim_->now()});
+        ++completedRuns_;
+        if (onRunCompleted_)
+            onRunCompleted_(*this);
+        runStart_ = sim_->now();
+        cursor_ = 0;
     }
-
-    // Trace exhausted: one execution completed.
-    records_.push_back(RunRecord{runStart_, sim_->now()});
-    if (onRunCompleted_)
-        onRunCompleted_(*this);
-
-    // Replay immediately (paper Section 4.1): the next execution's
-    // first CPU phase provides the natural inter-run gap.
-    runStart_ = sim_->now();
-    cursor_ = 0;
-    step();
 }
 
 } // namespace workload

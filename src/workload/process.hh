@@ -9,6 +9,14 @@
  * trace ends the execution is recorded and the process is replayed
  * immediately, matching the paper's "replay until every benchmark
  * completed at least 3 times" methodology.
+ *
+ * Replay is the simulator's per-event hot path (every event the GPU
+ * side retires re-enters step() within a few calls), so the trace is
+ * compiled once, at construction, into a flat array of ReplayOps —
+ * kernel-profile pointers resolved, memcpy directions and command
+ * kinds precomputed — and the replay state is two integers (the op
+ * cursor and the completed-run count).  Commands come from the
+ * System's CommandPool, so steady-state replay allocates nothing.
  */
 
 #ifndef GPUMP_WORKLOAD_PROCESS_HH
@@ -17,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "gpu/command.hh"
 #include "gpu/gpu_context.hh"
 #include "gpu/stream.hh"
 #include "sim/simulation.hh"
@@ -48,12 +57,13 @@ class Process
      * @param cpu      host CPU (phase accounting).
      * @param ctx      this process's GPU context.
      * @param stream   this process's stream.
+     * @param pool     command pool (recycled command allocations).
      * @param launch_overhead_us CPU cost of a kernel-launch API call.
      */
     Process(sim::Simulation &sim, sim::ProcessId id,
             const trace::BenchmarkSpec *spec, int priority, HostCpu &cpu,
             gpu::GpuContext &ctx, gpu::Stream &stream,
-            double launch_overhead_us);
+            gpu::CommandPool &pool, double launch_overhead_us);
 
     sim::ProcessId id() const { return id_; }
     const trace::BenchmarkSpec &spec() const { return *spec_; }
@@ -64,16 +74,17 @@ class Process
     void start();
 
     /** Completed executions so far. */
-    int completedRuns() const
-    {
-        return static_cast<int>(records_.size());
-    }
+    int completedRuns() const { return completedRuns_; }
 
     /** Records of all completed executions. */
     const std::vector<RunRecord> &records() const { return records_; }
 
     /** Mean turnaround over completed executions (microseconds). */
     double meanTurnaroundUs() const;
+
+    /** Hint the expected execution count (reserves the record log so
+     *  steady-state replay never regrows it). */
+    void reserveRuns(int n);
 
     /** Invoked after each completed execution. */
     void setOnRunCompleted(std::function<void(Process &)> cb)
@@ -82,6 +93,21 @@ class Process
     }
 
   private:
+    /** One precompiled trace operation (flat replay program). */
+    struct ReplayOp
+    {
+        trace::TraceOp::Kind kind;
+        /** Memcpy*: blocking cudaMemcpy semantics. */
+        bool synchronous;
+        /** CpuPhase: host time consumed (before contention stretch). */
+        sim::SimTime duration;
+        /** Memcpy*: payload size and command kind. */
+        std::int64_t bytes;
+        gpu::Command::Kind memcpyKind;
+        /** KernelLaunch: resolved kernel profile. */
+        const trace::KernelProfile *profile;
+    };
+
     void step();
     void opDone();
 
@@ -92,9 +118,13 @@ class Process
     HostCpu *cpu_;
     gpu::GpuContext *ctx_;
     gpu::Stream *stream_;
+    gpu::CommandPool *pool_;
     sim::SimTime launchOverhead_;
 
+    /** The compiled trace; replayed cursor_ = 0..ops_.size() per run. */
+    std::vector<ReplayOp> ops_;
     std::size_t cursor_ = 0;
+    int completedRuns_ = 0;
     sim::SimTime runStart_ = 0;
     std::vector<RunRecord> records_;
     std::function<void(Process &)> onRunCompleted_;

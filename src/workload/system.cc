@@ -107,7 +107,8 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
             gpuParams_.commandSubmitLatency);
         auto process = std::make_unique<Process>(
             *sim_, static_cast<sim::ProcessId>(i), &bench, priority,
-            *hostCpu_, *ctx, *stream, launch_overhead_us);
+            *hostCpu_, *ctx, *stream, cmdPool_, launch_overhead_us);
+        process->reserveRuns(spec_.minReplays);
 
         contexts_.push_back(std::move(ctx));
         streams_.push_back(std::move(stream));

@@ -95,6 +95,9 @@ class System
     gpu::TransferEngine &transferEngine() { return *transferEngine_; }
     HostCpu &hostCpu() { return *hostCpu_; }
     const gpu::GpuParams &gpuParams() const { return gpuParams_; }
+    /** The command pool all processes draw from (observability for
+     *  tests of the allocation-free replay path). */
+    gpu::CommandPool &commandPool() { return cmdPool_; }
 
     int numProcesses() const
     {
@@ -116,6 +119,11 @@ class System
 
   private:
     SystemSpec spec_;
+    /** Recycles command allocations across replays.  Declared before
+     *  every component that can hold a CommandPtr (engines, framework,
+     *  streams), so it is destroyed last — the pool must outlive its
+     *  commands (CommandPool lifetime contract). */
+    gpu::CommandPool cmdPool_;
     std::unique_ptr<sim::Simulation> sim_;
     gpu::GpuParams gpuParams_;
     std::unique_ptr<memory::GpuMemory> gmem_;

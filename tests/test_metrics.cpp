@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "metrics/metrics.hh"
 #include "sim/logging.hh"
 
@@ -68,8 +71,42 @@ TEST(Metrics, ValidationErrors)
 {
     EXPECT_THROW(computeMetrics({1.0}, {1.0, 2.0}), sim::FatalError);
     EXPECT_THROW(computeMetrics({}, {}), sim::FatalError);
-    EXPECT_THROW(computeMetrics({0.0}, {1.0}), sim::FatalError);
-    EXPECT_THROW(computeMetrics({1.0}, {-1.0}), sim::FatalError);
+}
+
+TEST(Metrics, DegenerateTimesYieldNanNotFatal)
+{
+    // A zero isolated baseline (empty/degenerate plan) or turnaround
+    // must not abort a whole batch; the affected metrics become quiet
+    // NaN instead (serialized as JSON null by the report layer).
+    for (auto &[iso, multi] :
+         std::vector<std::pair<std::vector<double>, std::vector<double>>>{
+             {{0.0}, {1.0}},
+             {{1.0}, {-1.0}},
+             {{std::numeric_limits<double>::infinity()}, {1.0}},
+             {{1.0}, {std::numeric_limits<double>::quiet_NaN()}}}) {
+        SystemMetrics m;
+        ASSERT_NO_THROW(m = computeMetrics(iso, multi));
+        ASSERT_EQ(m.ntt.size(), 1u);
+        EXPECT_TRUE(std::isnan(m.ntt[0]));
+        EXPECT_TRUE(std::isnan(m.antt));
+        EXPECT_TRUE(std::isnan(m.stp));
+        EXPECT_TRUE(std::isnan(m.fairness));
+    }
+}
+
+TEST(Metrics, DegenerateCellPoisonsOnlyItsOwnNtt)
+{
+    // One broken process out of three: its NTT is NaN and the
+    // aggregates are NaN, but the healthy per-process ratios survive
+    // for diagnosis.
+    auto m = computeMetrics({10.0, 0.0, 10.0}, {20.0, 5.0, 40.0});
+    ASSERT_EQ(m.ntt.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.ntt[0], 2.0);
+    EXPECT_TRUE(std::isnan(m.ntt[1]));
+    EXPECT_DOUBLE_EQ(m.ntt[2], 4.0);
+    EXPECT_TRUE(std::isnan(m.antt));
+    EXPECT_TRUE(std::isnan(m.stp));
+    EXPECT_TRUE(std::isnan(m.fairness));
 }
 
 TEST(Metrics, MeanAndGeomean)

@@ -129,6 +129,30 @@ TEST(Process, IsolatedTimesLandInPaperClasses)
         << "MEDIUM apps must be shorter than every LONG app";
 }
 
+TEST(Process, CommandPoolRecyclesAcrossReplays)
+{
+    // The replay hot path must not allocate per command in steady
+    // state: the pool's block count plateaus at the peak number of
+    // concurrently live commands, independent of how many replays
+    // (and therefore how many commands) the run retires.
+    auto blocks_for = [](int replays) {
+        SystemSpec spec;
+        spec.benchmarks = {"sgemm"};
+        spec.minReplays = replays;
+        System system(spec);
+        system.run(sim::seconds(20.0));
+        // (Commands of the replay the stop condition interrupted are
+        // still live, so free < allocated here; the plateau is the
+        // meaningful number.)
+        return system.commandPool().blocksAllocated();
+    };
+    std::size_t two = blocks_for(2);
+    std::size_t eight = blocks_for(8);
+    EXPECT_GT(two, 0u);
+    EXPECT_EQ(two, eight)
+        << "4x the replays must not grow the command pool";
+}
+
 TEST(Process, SystemValidatesSpec)
 {
     SystemSpec empty;

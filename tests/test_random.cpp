@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -77,6 +80,72 @@ TEST(Rng, UniformIntCoversRange)
         EXPECT_GT(count, 800) << "a face of the die never came up";
 }
 
+TEST(Rng, UniformIntSurvivesFullSignedRange)
+{
+    // Regression: the range width hi - lo + 1 used to be computed in
+    // signed arithmetic, which overflows (UB) once the range spans
+    // more than half the int64 domain; [INT64_MIN, INT64_MAX] then
+    // collapsed to a zero-width uniformInt call and a panic.
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+    Rng r(2718);
+    bool saw_negative = false, saw_positive = false;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = r.uniformInt(kMin, kMax);
+        saw_negative |= v < 0;
+        saw_positive |= v > 0;
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
+
+    // The full-range draw consumes exactly one raw draw, offset from
+    // lo in wrap-around arithmetic (lo + raw mod 2^64, i.e. the raw
+    // sample with its top bit flipped for lo = INT64_MIN).
+    Rng a(99), b(99);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(a.uniformInt(kMin, kMax),
+                  static_cast<std::int64_t>(b.next() ^ (1ull << 63)));
+    }
+}
+
+TEST(Rng, UniformIntNearBoundaryRanges)
+{
+    Rng r(31337);
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+    // Degenerate single-value ranges at both extremes.
+    EXPECT_EQ(r.uniformInt(kMin, kMin), kMin);
+    EXPECT_EQ(r.uniformInt(kMax, kMax), kMax);
+
+    // Small windows touching each boundary: every draw in range and
+    // every value reachable.
+    bool hit_lo[4] = {}, hit_hi[4] = {};
+    for (int i = 0; i < 400; ++i) {
+        std::int64_t lo = r.uniformInt(kMin, kMin + 3);
+        ASSERT_GE(lo, kMin);
+        ASSERT_LE(lo, kMin + 3);
+        hit_lo[lo - kMin] = true;
+        std::int64_t hi = r.uniformInt(kMax - 3, kMax);
+        ASSERT_GE(hi, kMax - 3);
+        ASSERT_LE(hi, kMax);
+        hit_hi[kMax - hi] = true;
+    }
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(hit_lo[i]) << i;
+        EXPECT_TRUE(hit_hi[i]) << i;
+    }
+
+    // A window spanning most of the domain (width > INT64_MAX but not
+    // the full 2^64): results stay in range.
+    for (int i = 0; i < 400; ++i) {
+        std::int64_t v = r.uniformInt(kMin + 1, kMax - 1);
+        ASSERT_GE(v, kMin + 1);
+        ASSERT_LE(v, kMax - 1);
+    }
+}
+
 TEST(Rng, NormalMoments)
 {
     Rng r(23);
@@ -125,6 +194,94 @@ TEST(Rng, ExponentialMean)
     for (int i = 0; i < n; ++i)
         sum += r.exponential(3.0);
     EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, BatchedDrawsMatchSequentialBitForBit)
+{
+    // The fill* APIs must produce the exact stream sequential calls
+    // produce: same raw-draw consumption, same per-sample arithmetic
+    // (only the per-call parameter setup is hoisted).  Checked with
+    // EXPECT_EQ on doubles, i.e. bit-for-bit.
+    constexpr std::size_t n = 4096;
+    std::vector<double> batched(n), sequential(n);
+
+    {
+        Rng a(7), b(7);
+        a.fillUniform(batched.data(), n);
+        for (auto &v : sequential)
+            v = b.uniform();
+        EXPECT_EQ(batched, sequential);
+    }
+    {
+        Rng a(11), b(11);
+        a.fillNormal(batched.data(), n, 5.0, 2.5);
+        for (auto &v : sequential)
+            v = b.normal(5.0, 2.5);
+        EXPECT_EQ(batched, sequential);
+    }
+    {
+        Rng a(13), b(13);
+        a.fillLognormal(batched.data(), n, 8.7, 0.4);
+        for (auto &v : sequential)
+            v = b.lognormal(8.7, 0.4);
+        EXPECT_EQ(batched, sequential);
+    }
+    {
+        // cv == 0 degenerates to the constant mean in both paths.
+        Rng a(17), b(17);
+        a.fillLognormal(batched.data(), n, 3.0, 0.0);
+        for (auto &v : sequential)
+            v = b.lognormal(3.0, 0.0);
+        EXPECT_EQ(batched, sequential);
+        EXPECT_EQ(a.next(), b.next()) << "neither path may draw";
+    }
+    {
+        Rng a(19), b(19);
+        a.fillExponential(batched.data(), n, 3.0);
+        for (auto &v : sequential)
+            v = b.exponential(3.0);
+        EXPECT_EQ(batched, sequential);
+    }
+
+    // Interleaving batched and sequential draws continues one stream.
+    Rng interleaved(23), plain(23);
+    double chunk[16];
+    interleaved.fillLognormal(chunk, 16, 2.0, 0.3);
+    double after_batch = interleaved.lognormal(2.0, 0.3);
+    for (int i = 0; i < 16; ++i)
+        plain.lognormal(2.0, 0.3);
+    EXPECT_EQ(after_batch, plain.lognormal(2.0, 0.3));
+}
+
+TEST(Rng, BoxMullerZeroDrawStaysFinite)
+{
+    // Regression: uniform() returns exactly 0 with probability 2^-53;
+    // log(0) = -inf would have produced an infinite normal (and an
+    // infinite or zero lognormal TB duration).  The zero draw is
+    // remapped to 2^-53, not redrawn, so the per-sample draw count
+    // stays fixed.
+    EXPECT_TRUE(std::isfinite(Rng::boxMuller(0.0, 0.25)));
+    EXPECT_TRUE(std::isfinite(Rng::boxMuller(0.0, 0.0)));
+    // The remap maps 0 to the smallest nonzero uniform, exactly.
+    EXPECT_EQ(Rng::boxMuller(0.0, 0.75), Rng::boxMuller(0x1.0p-53, 0.75));
+    // Nonzero draws are untouched.
+    EXPECT_EQ(Rng::boxMuller(0.5, 0.5),
+              std::sqrt(-2.0 * std::log(0.5)) *
+                  std::cos(2.0 * 3.14159265358979323846 * 0.5));
+}
+
+TEST(Rng, NormalAndLognormalFiniteAcrossSeedSweep)
+{
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng r(seed);
+        for (int i = 0; i < 2000; ++i) {
+            double z = r.normal();
+            ASSERT_TRUE(std::isfinite(z)) << "seed " << seed;
+            double x = r.lognormal(10.0, 0.25);
+            ASSERT_TRUE(std::isfinite(x)) << "seed " << seed;
+            ASSERT_GT(x, 0.0) << "seed " << seed;
+        }
+    }
 }
 
 TEST(Rng, ForkProducesIndependentStream)

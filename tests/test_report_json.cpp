@@ -1,0 +1,307 @@
+/**
+ * Strict-JSON validity of the report layer.
+ *
+ * Regression target: non-finite metrics (a degenerate plan's NaN/inf
+ * ANTT, an unmeasurable run's events/sec) must serialize as JSON
+ * null — a bare `nan` token is invalid JSON and silently breaks every
+ * downstream consumer.  A minimal strict RFC 8259 parser (which, by
+ * construction, rejects the NaN/Infinity extensions some parsers
+ * accept) round-trips everything the JSONL writer emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/suite.hh"
+
+using namespace gpump;
+using namespace gpump::harness;
+
+namespace {
+
+/** Minimal strict JSON validator (RFC 8259; no NaN/Infinity, no
+ *  trailing garbage, no unquoted tokens beyond true/false/null). */
+class StrictJson
+{
+  public:
+    static bool valid(const std::string &text)
+    {
+        StrictJson p(text);
+        return p.value() && (p.ws(), p.pos_ == text.size());
+    }
+
+  private:
+    explicit StrictJson(const std::string &t) : text_(t) {}
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    int peek() const
+    {
+        return pos_ < text_.size()
+            ? static_cast<unsigned char>(text_[pos_])
+            : -1;
+    }
+    bool eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+    void ws()
+    {
+        while (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+               peek() == '\r')
+            ++pos_;
+    }
+    bool literal(const char *s)
+    {
+        std::size_t n = std::string(s).size();
+        if (text_.compare(pos_, n, s) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool value()
+    {
+        ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        if (!eat('{'))
+            return false;
+        ws();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (!eat(':') || !value())
+                return false;
+            ws();
+            if (eat(','))
+                continue;
+            return eat('}');
+        }
+    }
+
+    bool array()
+    {
+        if (!eat('['))
+            return false;
+        ws();
+        if (eat(']'))
+            return true;
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (eat(','))
+                continue;
+            return eat(']');
+        }
+    }
+
+    bool string()
+    {
+        if (!eat('"'))
+            return false;
+        for (;;) {
+            int c = peek();
+            if (c < 0 || c < 0x20)
+                return false; // unterminated or raw control char
+            ++pos_;
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                int e = peek();
+                ++pos_;
+                switch (e) {
+                  case '"': case '\\': case '/': case 'b': case 'f':
+                  case 'n': case 'r': case 't':
+                    break;
+                  case 'u': {
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(peek()))
+                            return false;
+                        ++pos_;
+                    }
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            }
+        }
+    }
+
+    bool digits()
+    {
+        if (!std::isdigit(peek()))
+            return false;
+        while (std::isdigit(peek()))
+            ++pos_;
+        return true;
+    }
+
+    bool number()
+    {
+        eat('-');
+        if (eat('0')) {
+            // no leading zeros
+        } else if (!digits()) {
+            return false; // rejects nan, inf, +1, .5, ...
+        }
+        if (eat('.') && !digits())
+            return false;
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+};
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+} // namespace
+
+TEST(StrictJsonParser, SelfTest)
+{
+    EXPECT_TRUE(StrictJson::valid("{\"a\":1,\"b\":[1.5e-3,null,true]}"));
+    EXPECT_TRUE(StrictJson::valid("{\"s\":\"x\\n\\u00e9\"}"));
+    EXPECT_TRUE(StrictJson::valid("-0.25"));
+    // The whole point: bare non-finite tokens are NOT valid JSON.
+    EXPECT_FALSE(StrictJson::valid("{\"a\":nan}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":-nan}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":inf}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":Infinity}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":1,}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":01}"));
+    EXPECT_FALSE(StrictJson::valid("{\"a\":1} trailing"));
+}
+
+TEST(Report, NonFiniteDoublesSerializeAsNull)
+{
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    JsonObject o;
+    o.add("ok", 1.25)
+        .add("bad", nan)
+        .add("worse", inf)
+        .add("mixed", std::vector<double>{1.0, nan, -inf});
+    std::string s = o.str();
+    EXPECT_TRUE(StrictJson::valid(s)) << s;
+    EXPECT_EQ(s,
+              "{\"ok\":1.25,\"bad\":null,\"worse\":null,"
+              "\"mixed\":[1,null,null]}");
+}
+
+TEST(Report, DegenerateResultRoundTripsThroughJsonlWriter)
+{
+    // A degenerate run — zero isolated baseline, zero wall time —
+    // produces NaN metrics and NaN events/sec.  The full batch writer
+    // must still emit strictly valid JSON lines with null in the
+    // non-finite fields.
+    workload::WorkloadPlan plan;
+    plan.benchmarks = {"sgemm", "histo"};
+    plan.seed = 1;
+
+    Suite suite("degenerate");
+    suite.fixedPlans({plan}).minReplays(1).scheme(
+        "FCFS", {"fcfs", "context_switch", "fcfs"});
+    Batch batch = suite.build();
+    ASSERT_EQ(batch.requests.size(), 1u);
+
+    RunResult r;
+    r.index = 0;
+    r.tag = batch.requests[0].tag;
+    r.scheme = batch.requests[0].scheme;
+    r.isolatedUs = {0.0, 0.0}; // degenerate baseline
+    r.sys.meanTurnaroundUs = {125.0, 250.0};
+    r.sys.eventsExecuted = 42;
+    r.wallSeconds = 0.0; // unmeasurable -> eventsPerSec() is NaN
+    r.metrics = metrics::computeMetrics(r.isolatedUs,
+                                        r.sys.meanTurnaroundUs);
+    ASSERT_TRUE(std::isnan(r.metrics.antt));
+    ASSERT_TRUE(std::isnan(r.eventsPerSec()));
+
+    std::string path =
+        testing::TempDir() + "/gpump_degenerate_roundtrip.jsonl";
+    writeResultsJsonl(path, batch, {r});
+
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &line = lines[0];
+    EXPECT_TRUE(StrictJson::valid(line)) << line;
+    EXPECT_NE(line.find("\"antt\":null"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"stp\":null"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ntt\":[null,null]"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"events_per_sec\":null"), std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+    std::remove(path.c_str());
+}
+
+TEST(Report, HealthyResultsStayStrictlyValid)
+{
+    // End-to-end: a real (healthy) run through the writer parses
+    // strictly too — the guard is not only for the degenerate path.
+    workload::WorkloadPlan plan;
+    plan.benchmarks = {"sgemm"};
+    plan.seed = 3;
+
+    Suite suite("healthy");
+    suite.fixedPlans({plan}).minReplays(1).scheme(
+        "FCFS", {"fcfs", "context_switch", "fcfs"});
+    Batch batch = suite.build();
+
+    Runner runner;
+    auto results = runner.run(batch.requests);
+
+    std::string path = testing::TempDir() + "/gpump_healthy.jsonl";
+    writeResultsJsonl(path, batch, results);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(StrictJson::valid(lines[0])) << lines[0];
+    std::remove(path.c_str());
+}
