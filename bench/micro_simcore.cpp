@@ -138,6 +138,28 @@ BM_MultiprogrammedDssRun(benchmark::State &state)
 }
 BENCHMARK(BM_MultiprogrammedDssRun)->Unit(benchmark::kMillisecond);
 
+void
+BM_ContendedSwitch(benchmark::State &state)
+{
+    // The same multiprogrammed mix with context save/restore riding
+    // the transfer engine (gmem.contended_switch): exercises the
+    // driver-originated transfer path, restore credit and SM parking.
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        workload::SystemSpec spec;
+        spec.benchmarks = {"sgemm", "histo", "spmv", "mri-q"};
+        spec.policy = "dss";
+        spec.minReplays = 1;
+        sim::Config cfg;
+        cfg.set("gmem.contended_switch", true);
+        workload::System system(spec, cfg);
+        auto result = system.run(sim::seconds(30.0));
+        events += result.eventsExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ContendedSwitch)->Unit(benchmark::kMillisecond);
+
 /** A replay-heavy synthetic application: many short trace ops (CPU
  *  phases, async copies, small kernel launches) per execution, so the
  *  per-op replay machinery — command creation, stream submission,

@@ -38,7 +38,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro_simcore \
 # missing BM_ProcessReplay (renamed, gated out, filtered away) would
 # leave the committed baseline stale without anyone noticing.
 for bench in BM_ProcessReplay BM_WorkloadIssueLoop \
-    BM_MultiprogrammedDssRun; do
+    BM_MultiprogrammedDssRun BM_ContendedSwitch; do
     "$BUILD_DIR/bench/bench_micro_simcore" --benchmark_list_tests \
         | grep -qx "$bench" || {
         echo "error: $bench missing from the gbench listing" >&2

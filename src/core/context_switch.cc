@@ -45,22 +45,48 @@ ContextSwitchMechanism::beginPreemption(gpu::Sm *sm)
 
     // The trap routine drains the pipeline (precise exceptions), then
     // every thread collaboratively stores registers and the shared
-    // memory partition at the SM's share of memory bandwidth.
+    // memory partition.
     std::int64_t bytes = k->contextBytesPerTb() *
         static_cast<std::int64_t>(saved.size());
-    sim::SimTime save_time =
-        fw_->gmem().moveTime(bytes, fw_->params().numSms);
     fw_->recordContextSave(bytes, static_cast<int>(saved.size()));
 
+    if (fw_->contendedSwitch()) {
+        // Contended-switch model: after the drain the context bytes
+        // travel as a D2H transfer command, queueing behind (and
+        // delaying) workload copies instead of taking a fixed
+        // bandwidth share.
+        sm->pendingEvent = fw_->sim().events().scheduleIn(
+            fw_->params().pipelineDrainLatency,
+            [this, sm, k, bytes, saved = std::move(saved)] {
+                fw_->submitContextTransfer(
+                    k->ctx(), k->priority(), bytes,
+                    gpu::Command::Kind::MemcpyD2H,
+                    [this, sm, k, saved] { finishSave(sm, k, saved); });
+            },
+            sim::prioCompletion);
+        return;
+    }
+
+    // Share model (the default Section 3.2 cost): the store runs at
+    // the SM's share of memory bandwidth, overlapping everything.
+    sim::SimTime save_time =
+        fw_->gmem().moveTime(bytes, fw_->params().numSms);
     sm->pendingEvent = fw_->sim().events().scheduleIn(
         fw_->params().pipelineDrainLatency + save_time,
         [this, sm, k, saved = std::move(saved)] {
-            for (const auto &pt : saved)
-                k->pushPreemptedTb(pt);
-            fw_->recordPtbqDepth(k->ptbqDepth());
-            fw_->completePreemption(sm);
+            finishSave(sm, k, saved);
         },
         sim::prioCompletion);
+}
+
+void
+ContextSwitchMechanism::finishSave(gpu::Sm *sm, gpu::KernelExec *k,
+                                   const std::vector<gpu::PreemptedTb> &saved)
+{
+    for (const auto &pt : saved)
+        k->pushPreemptedTb(pt);
+    fw_->recordPtbqDepth(k->ptbqDepth());
+    fw_->completePreemption(sm);
 }
 
 // --------------------------------------------------------- registry

@@ -14,7 +14,10 @@
 #ifndef GPUMP_CORE_CONTEXT_SWITCH_HH
 #define GPUMP_CORE_CONTEXT_SWITCH_HH
 
+#include <vector>
+
 #include "core/preemption.hh"
+#include "gpu/kernel_exec.hh"
 
 namespace gpump {
 namespace core {
@@ -26,6 +29,11 @@ class ContextSwitchMechanism : public PreemptionMechanism
     const char *name() const override { return "context_switch"; }
     bool savesContext() const override { return true; }
     void beginPreemption(gpu::Sm *sm) override;
+
+  private:
+    /** Saved context is off the SM: queue the blocks and release it. */
+    void finishSave(gpu::Sm *sm, gpu::KernelExec *k,
+                    const std::vector<gpu::PreemptedTb> &saved);
 };
 
 } // namespace core

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "core/policy.hh"
+#include "gpu/transfer_engine.hh"
+#include "memory/residency.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
@@ -26,6 +29,10 @@ SchedulingFramework::SchedulingFramework(sim::Simulation &sim,
                      "context bytes written back on preemption"),
       tbsSaved_(sim.stats(), "engine.tbs_saved",
                 "thread blocks context-switched out"),
+      tbsPrefetched_(sim.stats(), "engine.tbs_prefetched",
+                     "preempted TBs granted restore credit"),
+      ctxTransfers_(sim.stats(), "engine.ctx_transfers",
+                    "driver-originated transfer commands"),
       preemptLatencyUs_(sim.stats(), "engine.preempt_latency_us",
                         "reservation-to-vacated latency (us)"),
       kernelQueueTimeUs_(sim.stats(), "engine.kernel_queue_us",
@@ -35,6 +42,7 @@ SchedulingFramework::SchedulingFramework(sim::Simulation &sim,
 {
     preemptedFirst_ =
         sim.config().getBool("engine.preempted_first", true);
+    contendedSwitch_ = gmem.params().contendedSwitch;
     sms_.reserve(static_cast<std::size_t>(params_.numSms));
     for (int i = 0; i < params_.numSms; ++i)
         sms_.push_back(std::make_unique<gpu::Sm>(i, 64));
@@ -169,9 +177,11 @@ SchedulingFramework::admit(sim::ContextId ctx)
     freeKsrs_.pop_back();
 
     // The on-chip PTBQ sizing (Section 3.3) is only valid when
-    // preempted blocks are re-issued first; the fresh-first ablation
-    // needs an unbounded (off-chip) queue.
-    int ptbq_capacity = preemptedFirst_
+    // preempted blocks are re-issued first AND re-issue is immediate;
+    // the fresh-first ablation and the contended-switch model (where
+    // entries wait on restore fetches, so saves can pile up behind
+    // slow transfers) both need an unbounded (off-chip) queue.
+    int ptbq_capacity = (preemptedFirst_ && !contendedSwitch_)
         ? ptbqCapacityPerKernel(params_)
         : std::numeric_limits<int>::max();
     kernelQueueTimeUs_.sample(
@@ -252,6 +262,32 @@ SchedulingFramework::assignSm(gpu::Sm *sm, gpu::KernelExec *k)
     // capacity once instead of growing it TB by TB.
     sm->resident.reserve(static_cast<std::size_t>(k->occupancy()));
 
+    if (residency_ != nullptr) {
+        // Setup proper waits for the context's state to be in device
+        // memory.  For a resident context ensureResident runs the
+        // callback synchronously, so the no-swap path is step-for-step
+        // the unconditional one.  The epoch guards against the swap-in
+        // landing after this Setup assignment was unwound (reserveSm
+        // cancel, finalizeKernel) and the SM reused.
+        std::uint64_t epoch = sm->setupEpoch;
+        residency_->ensureResident(k->ctx(), [this, sm, k, epoch] {
+            if (sm->setupEpoch != epoch || sm->kernel != k ||
+                sm->state != gpu::Sm::State::Setup) {
+                return;
+            }
+            beginSetup(sm);
+        });
+    } else {
+        beginSetup(sm);
+    }
+    if (observer_)
+        observer_->smAssigned(*sm, *k);
+}
+
+void
+SchedulingFramework::beginSetup(gpu::Sm *sm)
+{
+    gpu::KernelExec *k = sm->kernel;
     sim::SimTime latency = params_.smSetupLatency;
     if (sm->loadedContext != k->ctx()) {
         latency += params_.contextLoadLatency;
@@ -260,8 +296,6 @@ SchedulingFramework::assignSm(gpu::Sm *sm, gpu::KernelExec *k)
     }
     sm->pendingEvent = sim_->events().scheduleIn(
         latency, [this, sm] { finishSetup(sm); }, sim::prioDriver);
-    if (observer_)
-        observer_->smAssigned(*sm, *k);
 }
 
 void
@@ -315,28 +349,39 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
     // block.
     int slots = sm->freeSlots();
     int pre_avail = static_cast<int>(k->ptbqDepth());
+    // Under the contended-switch model a preempted block may only
+    // re-issue once its restore fetch has landed (the entry holds
+    // restore credit); the share model re-issues immediately and folds
+    // the restore cost into the block's runtime.
+    int pre_ready = contendedSwitch_
+        ? std::min(pre_avail, k->restoreCredit())
+        : pre_avail;
     int fresh_avail = k->totalTbs() - k->issuedFresh();
     int n_pre, n_fresh;
     if (preemptedFirst_) {
-        n_pre = std::min(slots, pre_avail);
+        n_pre = std::min(slots, pre_ready);
         n_fresh = std::min(slots - n_pre, fresh_avail);
     } else {
         n_fresh = std::min(slots, fresh_avail);
-        n_pre = std::min(slots - n_fresh, pre_avail);
+        n_pre = std::min(slots - n_fresh, pre_ready);
     }
 
     auto issue_preempted = [&] {
         // Preempted blocks are re-issued first (Section 3.3); their
         // context is restored before execution resumes.  The restore
         // cost depends only on the kernel, so it is hoisted out of
-        // the loop.
+        // the loop.  A block whose state was prefetched (restore
+        // credit) skips the inline restore: its fetch already ran on
+        // the transfer path.
         if (n_pre <= 0)
             return;
         sim::SimTime restore =
             gmem_->moveTime(k->contextBytesPerTb(), params_.numSms);
         for (int i = 0; i < n_pre; ++i) {
             gpu::PreemptedTb pt = k->takePreemptedTb();
-            placeResident(sm, k, pt.tbIndex, restore + pt.remaining);
+            bool prefetched = k->consumeRestoreCredit();
+            placeResident(sm, k, pt.tbIndex,
+                          (prefetched ? 0 : restore) + pt.remaining);
             ++tbsRestored_;
         }
     };
@@ -368,9 +413,24 @@ SchedulingFramework::issueThreadBlocks(gpu::Sm *sm)
         issue_fresh();
         issue_preempted();
     }
+    if (contendedSwitch_) {
+        // Slots the fill left empty are waiting on restore fetches;
+        // stage them now so the data is moving while the SM runs (or
+        // waits).  stageRestore caps the request at the PTBQ entries
+        // not already covered.
+        int unfilled = slots - n_pre - n_fresh;
+        if (unfilled > 0)
+            stageRestore(k, unfilled);
+    }
     armCompletion(sm);
 
     if (sm->resident.empty()) {
+        if (parkedForRestore(sm)) {
+            // Every runnable block is waiting on an in-flight restore
+            // fetch; keep the SM parked on the kernel — restoreArrived
+            // re-drives it.  Releasing it would bounce the assignment.
+            return;
+        }
         // Assigned but the kernel's work evaporated (issued elsewhere
         // between reservation decisions); hand the SM back.
         smBecameIdle(sm);
@@ -423,9 +483,12 @@ SchedulingFramework::onTbCompleted(gpu::Sm *sm)
         if (!kernel_done && k->hasIssuableTbs())
             issueThreadBlocks(sm);
         // Guard on the same kernel: smBecameIdle hands the SM to the
-        // policy, which may already have re-assigned it.
-        if (sm->kernel == k && sm->resident.empty())
+        // policy, which may already have re-assigned it.  A parked SM
+        // (restores in flight) stays held; restoreArrived re-drives it.
+        if (sm->kernel == k && sm->resident.empty() &&
+            !parkedForRestore(sm)) {
             smBecameIdle(sm);
+        }
     }
 
     // Re-arm for whatever is now at the head of the timeline (no-op
@@ -446,6 +509,8 @@ SchedulingFramework::smBecameIdle(gpu::Sm *sm)
     --k->smsHeld;
     sm->clearKernel();
     policy_->onSmIdle(sm);
+    if (residency_ != nullptr)
+        residency_->onPinsReleased();
 }
 
 void
@@ -481,6 +546,14 @@ SchedulingFramework::reserveSm(gpu::Sm *sm, gpu::KernelExec *next)
     GPUMP_ASSERT(sm->state == gpu::Sm::State::Running,
                  "reserve of SM %d in state %s", sm->id(),
                  smStateName(sm->state));
+    if (sm->resident.empty()) {
+        // Parked for restore fetches (contended-switch model): nothing
+        // is executing, so there is nothing to drain or save — hand
+        // the SM over now.  The in-flight fetches land as credit on
+        // the kernel and re-issue wherever it runs next.
+        completePreemption(sm);
+        return;
+    }
     mechanism_->beginPreemption(sm);
 }
 
@@ -533,6 +606,8 @@ SchedulingFramework::completePreemption(gpu::Sm *sm)
 
     sm->clearKernel();
     policy_->onPreemptionComplete(sm, next);
+    if (residency_ != nullptr)
+        residency_->onPinsReleased();
 }
 
 void
@@ -583,6 +658,8 @@ SchedulingFramework::finalizeKernel(gpu::KernelExec *k)
     if (observer_)
         observer_->kernelFinished(*owned);
     policy_->onKernelFinished(owned.get());
+    if (residency_ != nullptr)
+        residency_->onPinsReleased();
 
     gpu::CommandPtr cmd = owned->command();
     owned->releaseCommand();
@@ -591,6 +668,102 @@ SchedulingFramework::finalizeKernel(gpu::KernelExec *k)
     if (cmd->queue != nullptr)
         dispatcher_->onCommandCompleted(cmd->queue);
     cmd->complete();
+}
+
+void
+SchedulingFramework::submitContextTransfer(sim::ContextId ctx, int priority,
+                                           std::int64_t bytes,
+                                           gpu::Command::Kind kind,
+                                           std::function<void()> done)
+{
+    GPUMP_ASSERT(xfer_ != nullptr,
+                 "context transfer with no transfer engine wired");
+    GPUMP_ASSERT(kind != gpu::Command::Kind::KernelLaunch,
+                 "context transfer must be a memcpy");
+    gpu::CommandPtr cmd =
+        gpu::Command::makeMemcpy(ctx, priority, kind, bytes);
+    cmd->onComplete = std::move(done);
+    dispatcher_->stampInternal(cmd);
+    ++ctxTransfers_;
+    xfer_->submit(cmd);
+}
+
+int
+SchedulingFramework::stageRestore(gpu::KernelExec *k, int max_tbs)
+{
+    GPUMP_ASSERT(k != nullptr, "stageRestore(null)");
+    if (max_tbs <= 0)
+        return 0;
+    int uncovered = static_cast<int>(k->ptbqDepth()) -
+        k->restoreCredit() - k->restoreInFlight();
+    int n = std::min(max_tbs, uncovered);
+    if (n <= 0)
+        return 0;
+    k->restoreRequested(n);
+    std::uint64_t gen = k->generation();
+    std::int64_t bytes = k->contextBytesPerTb() * n;
+    if (contendedSwitch_) {
+        submitContextTransfer(
+            k->ctx(), k->priority(), bytes, gpu::Command::Kind::MemcpyH2D,
+            [this, k, gen, n] { restoreArrived(k, gen, n); });
+    } else {
+        // Share-model staging (proactive prefetch without the
+        // contended-switch model): the fetch takes the bandwidth-share
+        // move time but queues behind nothing.
+        sim_->events().scheduleIn(
+            gmem_->moveTime(bytes, params_.numSms),
+            [this, k, gen, n] { restoreArrived(k, gen, n); },
+            sim::prioDriver);
+    }
+    return n;
+}
+
+void
+SchedulingFramework::restoreArrived(gpu::KernelExec *k, std::uint64_t gen,
+                                    int n)
+{
+    if (k->generation() != gen) {
+        // The kernel finished and its KSR slot was recycled while the
+        // fetch was in flight (share-model prefetch only; contended
+        // parking keeps the kernel on an SM).  Nothing to credit.
+        return;
+    }
+    k->restoreArrived(n);
+    tbsPrefetched_ += static_cast<double>(n);
+    for (auto &sm : sms_) {
+        if (sm->kernel == k)
+            issueThreadBlocks(sm.get());
+    }
+}
+
+bool
+SchedulingFramework::parkedForRestore(const gpu::Sm *sm) const
+{
+    return contendedSwitch_ && !sm->reserved && sm->kernel != nullptr &&
+        sm->kernel->restoreInFlight() > 0;
+}
+
+void
+SchedulingFramework::onContextRemapped(sim::ContextId ctx)
+{
+    for (auto &sm : sms_) {
+        if (sm->loadedContext == ctx) {
+            sm->tlb().flush();
+            sm->loadedContext = sim::invalidContext;
+        }
+    }
+}
+
+bool
+SchedulingFramework::contextPinned(sim::ContextId ctx) const
+{
+    for (const auto &sm : sms_) {
+        if (sm->kernel != nullptr && sm->kernel->ctx() == ctx)
+            return true;
+        if (sm->nextKernel != nullptr && sm->nextKernel->ctx() == ctx)
+            return true;
+    }
+    return false;
 }
 
 } // namespace core

@@ -33,6 +33,12 @@
 #include "sim/stats.hh"
 
 namespace gpump {
+namespace gpu {
+class TransferEngine;
+}
+namespace memory {
+class ResidencyManager;
+}
 namespace core {
 
 class SchedulingPolicy;
@@ -75,11 +81,29 @@ class SchedulingFramework : public gpu::KernelSink
 
     /** Install an observer (nullptr to remove).  Not owned. */
     void setObserver(EngineObserver *observer) { observer_ = observer; }
+
+    /** Wire the transfer engine carrying contended context save /
+     *  restore traffic and residency swaps (assembly; optional —
+     *  without it gmem.contended_switch must stay off and no
+     *  residency manager may be installed).  Not owned. */
+    void setTransferEngine(gpu::TransferEngine *xfer) { xfer_ = xfer; }
+
+    /** Wire the residency manager enforcing device-memory capacity
+     *  (assembly; optional — absent means every context is always
+     *  resident, the seed behaviour).  Not owned. */
+    void setResidency(memory::ResidencyManager *residency)
+    {
+        residency_ = residency;
+    }
     /** @} */
 
     sim::Simulation &sim() { return *sim_; }
     const gpu::GpuParams &params() const { return params_; }
     memory::GpuMemory &gmem() { return *gmem_; }
+
+    /** True when context save/restore bytes ride the transfer engine
+     *  (gmem.contended_switch) instead of the bandwidth-share model. */
+    bool contendedSwitch() const { return contendedSwitch_; }
 
     /** @name Command buffers (dispatcher-facing)
      * @{ */
@@ -192,6 +216,54 @@ class SchedulingFramework : public gpu::KernelSink
     double contextBytesSaved() const { return ctxBytesSaved_.value(); }
     /** @} */
 
+    /** @name Context-transfer path (mechanism/residency-facing)
+     * @{ */
+    /**
+     * Submit a driver-originated transfer command (context save or
+     * restore, residency swap) to the transfer engine: it queues,
+     * contends and completes exactly like a workload memcpy, but is
+     * bound to no hardware queue.  @p done runs on completion.
+     * @pre a transfer engine is wired
+     */
+    void submitContextTransfer(sim::ContextId ctx, int priority,
+                               std::int64_t bytes,
+                               gpu::Command::Kind kind,
+                               std::function<void()> done);
+
+    /**
+     * Stage restore fetches for up to @p max_tbs of @p k's PTBQ
+     * entries that are neither credited nor already being fetched.
+     * Under the contended-switch model the fetch is an H2D transfer
+     * command; otherwise it takes the bandwidth-share move time
+     * without contending.  On arrival the entries gain restore credit
+     * and every SM running @p k is re-driven.
+     * @return the number of TBs actually staged (0 when fully covered).
+     */
+    int stageRestore(gpu::KernelExec *k, int max_tbs);
+
+    /**
+     * A context's physical mapping changed under it (residency swap):
+     * flush the TLB of every SM with that context loaded and force the
+     * context-load cost on the next assignment.
+     */
+    void onContextRemapped(sim::ContextId ctx);
+
+    /** True while any SM runs or is reserved for a kernel of @p ctx
+     *  (such contexts must not be swapped out). */
+    bool contextPinned(sim::ContextId ctx) const;
+
+    /** TBs granted restore credit so far (tests). */
+    std::uint64_t tbsPrefetched() const
+    {
+        return static_cast<std::uint64_t>(tbsPrefetched_.value());
+    }
+    /** Driver-originated transfer commands submitted (tests). */
+    std::uint64_t contextTransfers() const
+    {
+        return static_cast<std::uint64_t>(ctxTransfers_.value());
+    }
+    /** @} */
+
     /** Used by the context-switch mechanism to account saved bytes. */
     void recordContextSave(std::int64_t bytes, int tbs);
 
@@ -202,7 +274,18 @@ class SchedulingFramework : public gpu::KernelSink
     double maxPtbqDepth() const { return ptbqDepth_.max(); }
 
   private:
+    /** Charge the setup (and context-load) latency and schedule
+     *  finishSetup; runs once the kernel's context is resident. */
+    void beginSetup(gpu::Sm *sm);
     void finishSetup(gpu::Sm *sm);
+    /** Restore fetch staged with @p gen landed; grants credit and
+     *  re-drives the kernel's SMs unless the KernelExec was recycled
+     *  meanwhile. */
+    void restoreArrived(gpu::KernelExec *k, std::uint64_t gen, int n);
+    /** True when @p sm should stay parked on its kernel instead of
+     *  going idle: contended-switch restores are in flight and the SM
+     *  re-drives when they land. */
+    bool parkedForRestore(const gpu::Sm *sm) const;
     void onTbCompleted(gpu::Sm *sm);
     /** (Re)arm @p sm's single completion event for the head of its
      *  timeline; disarms when nothing is resident.  The event carries
@@ -220,6 +303,11 @@ class SchedulingFramework : public gpu::KernelSink
     gpu::GpuParams params_;
     memory::GpuMemory *gmem_;
     gpu::Dispatcher *dispatcher_;
+    gpu::TransferEngine *xfer_ = nullptr;
+    memory::ResidencyManager *residency_ = nullptr;
+    /** Cached gmem params flag: save/restore rides the transfer
+     *  engine.  Checked on the TB-issue hot path. */
+    bool contendedSwitch_ = false;
     std::unique_ptr<SchedulingPolicy> policy_;
     std::unique_ptr<PreemptionMechanism> mechanism_;
     EngineObserver *observer_ = nullptr;
@@ -262,6 +350,8 @@ class SchedulingFramework : public gpu::KernelSink
     sim::Scalar preemptions_;
     sim::Scalar ctxBytesSaved_;
     sim::Scalar tbsSaved_;
+    sim::Scalar tbsPrefetched_;
+    sim::Scalar ctxTransfers_;
     sim::Distribution preemptLatencyUs_;
     sim::Distribution kernelQueueTimeUs_;
     sim::Distribution ptbqDepth_;

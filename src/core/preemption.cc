@@ -18,6 +18,7 @@ linkBuiltinMechanisms()
     GPUMP_FORCE_LINK(ContextSwitchMechanism);
     GPUMP_FORCE_LINK(DrainingMechanism);
     GPUMP_FORCE_LINK(AdaptiveMechanism);
+    GPUMP_FORCE_LINK(ProactiveMemMechanism);
 }
 
 std::unique_ptr<PreemptionMechanism>

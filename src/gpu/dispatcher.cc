@@ -51,6 +51,16 @@ Dispatcher::enqueue(CommandQueue *queue, const CommandPtr &cmd)
 }
 
 void
+Dispatcher::stampInternal(const CommandPtr &cmd)
+{
+    GPUMP_ASSERT(cmd != nullptr, "stamp of null command");
+    GPUMP_ASSERT(cmd->queue == nullptr,
+                 "internal command already bound to a hardware queue");
+    cmd->seq = nextSeq_++;
+    cmd->enqueuedAt = sim_->now();
+}
+
+void
 Dispatcher::onCommandCompleted(CommandQueue *queue)
 {
     GPUMP_ASSERT(queue != nullptr, "completion for null queue");

@@ -95,6 +95,16 @@ class Dispatcher
      */
     void enqueue(CommandQueue *queue, const CommandPtr &cmd);
 
+    /**
+     * Stamp a driver-originated command (context save/restore,
+     * residency swap) with the device-wide arrival sequence number and
+     * timestamp without routing it through a hardware queue.  Such
+     * commands are handed straight to an engine by their producer; the
+     * stamp keeps priority tie-breaking and wait-time accounting
+     * consistent with workload commands.
+     */
+    void stampInternal(const CommandPtr &cmd);
+
     /** Engine notification: the command issued from @p queue finished. */
     void onCommandCompleted(CommandQueue *queue);
 

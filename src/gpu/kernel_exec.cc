@@ -1,5 +1,7 @@
 #include "gpu/kernel_exec.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace gpump {
@@ -27,6 +29,9 @@ KernelExec::assign(sim::KsrIndex ksr, CommandPtr cmd,
     completed_ = 0;
     running_ = 0;
     ptbq_.clear();
+    restoreCredit_ = 0;
+    restoreInFlight_ = 0;
+    ++generation_;
     tokens = 0;
     hasBonusToken = false;
     smsHeld = 0;
@@ -49,6 +54,11 @@ KernelExec::takePreemptedTb()
     GPUMP_ASSERT(hasPreemptedTbs(), "takePreemptedTb on empty PTBQ");
     PreemptedTb tb = ptbq_.front();
     ptbq_.pop_front();
+    // An uncredited take (inline-restore path) can shrink the queue
+    // below the credit count; clamp so prefetched credit never
+    // outlives the entries it was fetched for.
+    if (restoreCredit_ > static_cast<int>(ptbq_.size()))
+        restoreCredit_ = static_cast<int>(ptbq_.size());
     return tb;
 }
 
@@ -59,6 +69,37 @@ KernelExec::pushPreemptedTb(const PreemptedTb &tb)
                  "PTBQ overflow for kernel %s (capacity %d)",
                  profile().fullName().c_str(), ptbqCapacity_);
     ptbq_.push_back(tb);
+}
+
+void
+KernelExec::restoreRequested(int n)
+{
+    GPUMP_ASSERT(n > 0, "empty restore request");
+    GPUMP_ASSERT(restoreCredit_ + restoreInFlight_ + n <=
+                     static_cast<int>(ptbq_.size()),
+                 "restore request beyond the PTBQ for kernel %s",
+                 profile().fullName().c_str());
+    restoreInFlight_ += n;
+}
+
+void
+KernelExec::restoreArrived(int n)
+{
+    GPUMP_ASSERT(n > 0 && restoreInFlight_ >= n,
+                 "restore arrival of %d with %d in flight", n,
+                 restoreInFlight_);
+    restoreInFlight_ -= n;
+    restoreCredit_ = std::min(restoreCredit_ + n,
+                              static_cast<int>(ptbq_.size()));
+}
+
+bool
+KernelExec::consumeRestoreCredit()
+{
+    if (restoreCredit_ <= 0)
+        return false;
+    --restoreCredit_;
+    return true;
 }
 
 void

@@ -113,6 +113,28 @@ class KernelExec
     void tbEnded(bool completed);
     /** @} */
 
+    /** @name Restore staging (contended-switch / proactive prefetch)
+     *
+     * A PTBQ entry's saved context can be fetched back ahead of
+     * re-issue: the framework stages a restore transfer (in flight),
+     * and on arrival the entries gain restore *credit* — a credited
+     * entry re-issues without paying the inline restore prefix.
+     * Credit never exceeds the PTBQ depth, so prefetched state cannot
+     * leak onto blocks saved by a later preemption.
+     * @{ */
+    /** Bumped by every assign(); lets async restore completions detect
+     *  that the KernelExec was recycled for a different kernel. */
+    std::uint64_t generation() const { return generation_; }
+    int restoreCredit() const { return restoreCredit_; }
+    int restoreInFlight() const { return restoreInFlight_; }
+    /** A restore fetch covering @p n PTBQ entries was submitted. */
+    void restoreRequested(int n);
+    /** A fetch covering @p n entries landed: convert to credit. */
+    void restoreArrived(int n);
+    /** Consume one credit; false when none is available. */
+    bool consumeRestoreCredit();
+    /** @} */
+
     /** @name Policy-owned scratch state
      *
      * The scheduling policy is the only writer; the framework never
@@ -141,6 +163,9 @@ class KernelExec
     int nextFresh_ = 0;
     int completed_ = 0;
     int running_ = 0;
+    int restoreCredit_ = 0;
+    int restoreInFlight_ = 0;
+    std::uint64_t generation_ = 0;
     std::deque<PreemptedTb> ptbq_;
 };
 

@@ -58,6 +58,7 @@ Sm::clearKernel()
     state = State::Idle;
     pendingEvent = sim::EventQueue::Handle();
     completionEvent = sim::EventQueue::Handle();
+    ++setupEpoch;
 }
 
 const char *

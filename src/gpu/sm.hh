@@ -99,6 +99,10 @@ class Sm
     /** Sequence number completionEvent is armed with (meaningful only
      *  while completionEvent is pending). */
     std::uint64_t armedSeq = 0;
+    /** Bumped by clearKernel(): callbacks staged while the SM waited
+     *  in Setup (e.g. a residency swap-in) capture the epoch and drop
+     *  themselves when the assignment was unwound meanwhile. */
+    std::uint64_t setupEpoch = 0;
 
     /** Insert an issued TB into the timeline, keeping (endAt, seq)
      *  order.  Occupancy is small (<= a few tens), so ordered insert

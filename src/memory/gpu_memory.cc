@@ -13,6 +13,8 @@ GpuMemoryParams::fromConfig(const sim::Config &cfg)
     GpuMemoryParams p;
     p.bandwidth = cfg.getDouble("gmem.bandwidth", p.bandwidth);
     p.capacity = cfg.getInt("gmem.capacity", p.capacity);
+    p.contendedSwitch =
+        cfg.getBool("gmem.contended_switch", p.contendedSwitch);
     if (p.bandwidth <= 0 || p.capacity <= 0)
         sim::fatal("invalid GPU memory parameters");
     return p;
@@ -29,7 +31,11 @@ void
 GpuMemory::allocate(sim::ContextId ctx, std::int64_t bytes)
 {
     GPUMP_ASSERT(bytes >= 0, "negative allocation");
-    if (total_ + bytes > params_.capacity) {
+    // total_ <= capacity and both operands are non-negative, so the
+    // subtraction cannot overflow; the natural `total_ + bytes` form
+    // can, for adversarial capacity/allocation pairs (signed overflow
+    // is UB and would let an oversized allocation through).
+    if (bytes > params_.capacity - total_) {
         sim::fatal("GPU out of memory: %lld + %lld exceeds capacity %lld",
                    static_cast<long long>(total_),
                    static_cast<long long>(bytes),
@@ -82,6 +88,8 @@ GpuMemory::bandwidthShare(int shares) const
 sim::SimTime
 GpuMemory::moveTime(std::int64_t bytes, int shares) const
 {
+    GPUMP_ASSERT(bytes >= 0, "moveTime of %lld bytes",
+                 static_cast<long long>(bytes));
     return sim::transferTime(static_cast<double>(bytes),
                              bandwidthShare(shares));
 }

@@ -31,6 +31,12 @@ struct GpuMemoryParams
     double bandwidth = 208e9;
     /** Physical capacity in bytes (K20c: 5 GB). */
     std::int64_t capacity = 5ll * 1000 * 1000 * 1000;
+    /** When set, context save/restore bytes travel as first-class
+     *  transfer commands on the transfer engine (contending with the
+     *  workload's own DMA traffic) instead of being charged the
+     *  contention-free bandwidth-share time below.  Off by default:
+     *  the share model is what Table 1 validates. */
+    bool contendedSwitch = false;
 
     /** Build from config keys "gmem.*". */
     static GpuMemoryParams fromConfig(const sim::Config &cfg);
@@ -78,6 +84,8 @@ class GpuMemory
     /**
      * Time to move @p bytes at a 1/@p shares bandwidth share.
      * This is exactly the "Save Time" model validated against Table 1.
+     * @pre bytes >= 0 (zero-byte moves take zero time, matching the
+     *      zero-burst case of the PCIe path less its setup latency)
      */
     sim::SimTime moveTime(std::int64_t bytes, int shares) const;
 

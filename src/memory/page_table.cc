@@ -19,6 +19,7 @@ FrameAllocator::allocate()
     if (!freeList_.empty()) {
         PhysAddr f = freeList_.front();
         freeList_.pop_front();
+        freeSet_.erase(f);
         return f;
     }
     if (nextNever_ < totalFrames_)
@@ -31,6 +32,12 @@ FrameAllocator::release(PhysAddr frame_base)
 {
     GPUMP_ASSERT(frame_base % gpuPageBytes == 0,
                  "release of unaligned frame");
+    GPUMP_ASSERT(frame_base / gpuPageBytes < nextNever_,
+                 "release of frame %llu never allocated",
+                 static_cast<unsigned long long>(frame_base));
+    bool newly_freed = freeSet_.insert(frame_base).second;
+    GPUMP_ASSERT(newly_freed, "double release of frame %llu",
+                 static_cast<unsigned long long>(frame_base));
     freeList_.push_back(frame_base);
 }
 
@@ -133,6 +140,7 @@ Tlb::access(const PageTable &pt, VirtAddr va)
 void
 Tlb::flush()
 {
+    ++flushes_;
     lru_.clear();
     index_.clear();
 }

@@ -22,6 +22,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "sim/types.hh"
 
@@ -45,7 +46,9 @@ class FrameAllocator
     /** Allocate one frame; std::nullopt when physical memory is full. */
     std::optional<PhysAddr> allocate();
 
-    /** Return a frame to the pool. */
+    /** Return a frame to the pool.  Panics on an unaligned address, a
+     *  frame this allocator never handed out, or a double free — all
+     *  of which would silently corrupt the free pool. */
     void release(PhysAddr frame_base);
 
     std::uint64_t freeFrames() const;
@@ -54,7 +57,11 @@ class FrameAllocator
   private:
     std::uint64_t totalFrames_;
     std::uint64_t nextNever_ = 0;       ///< frames never handed out yet
-    std::list<PhysAddr> freeList_;      ///< recycled frames
+    std::list<PhysAddr> freeList_;      ///< recycled frames (FIFO)
+    /** Membership mirror of freeList_: release() must reject frames
+     *  already free in O(1) without disturbing the FIFO recycling
+     *  order allocate() hands frames back in. */
+    std::unordered_set<PhysAddr> freeSet_;
 };
 
 /**
@@ -109,17 +116,22 @@ class Tlb
      */
     std::optional<PhysAddr> access(const PageTable &pt, VirtAddr va);
 
-    /** Drop all entries (SM re-targeted to another context). */
+    /** Drop all entries (SM re-targeted to another context, or the
+     *  context's physical mapping changed under it). */
     void flush();
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Times flush() ran (tests audit that every context change of an
+     *  SM flushed its TLB). */
+    std::uint64_t flushes() const { return flushes_; }
     std::size_t capacity() const { return capacity_; }
 
   private:
     std::size_t capacity_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t flushes_ = 0;
     /// LRU order: front = most recent.  Maps vpage -> paddr base.
     std::list<std::pair<std::uint64_t, PhysAddr>> lru_;
     std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Device-memory residency: capacity enforcement plus context swapping.
+ *
+ * The modelled hardware does not demand page (Section 2.2), so the
+ * seed's rule was blunt: the sum of every process's footprint had to
+ * fit in device memory or assembly raised fatal().  This manager
+ * relaxes that to per-context admission — a context's footprint must
+ * fit in physical memory *alone* — and lets co-resident processes
+ * oversubscribe the device: when a context's kernels need the GPU and
+ * its state is not resident, the least-recently-used unpinned resident
+ * context is swapped out (write-back over the transfer path) and the
+ * incoming context pays a swap-in transfer before its kernels issue.
+ *
+ * A context's device state — inputs, outputs, scratch and any saved
+ * thread-block contexts — swaps as one footprint-sized unit; the
+ * timing model charges whole-footprint transfers and does not track
+ * dirty subsets.
+ *
+ * Layering: this file lives in memory/ and must not depend on gpu/ or
+ * core/, so the actual transfer submission and the two engine-side
+ * questions ("is this context pinned on an SM?", "who must flush TLBs
+ * after a remap?") are injected as callbacks at assembly
+ * (workload::System wires them to the scheduling framework).
+ */
+
+#ifndef GPUMP_MEMORY_RESIDENCY_HH
+#define GPUMP_MEMORY_RESIDENCY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "memory/gpu_memory.hh"
+#include "memory/page_table.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gpump {
+namespace memory {
+
+/** Tracks which contexts' state is in device memory and swaps on
+ *  demand. */
+class ResidencyManager
+{
+  public:
+    /**
+     * Submit one swap transfer on the device's transfer path.
+     * @param to_device true for swap-in (H2D), false for write-back.
+     * @param done      runs when the transfer completes.
+     */
+    using SwapSubmit = std::function<void(
+        sim::ContextId ctx, int priority, std::int64_t bytes,
+        bool to_device, std::function<void()> done)>;
+
+    ResidencyManager(sim::StatRegistry &stats, GpuMemory &gmem,
+                     SwapSubmit submit);
+
+    /** True when @p ctx may not be swapped out (its kernels hold or
+     *  are promised SMs).  Unset = nothing is ever pinned. */
+    void setPinQuery(std::function<bool(sim::ContextId)> fn);
+
+    /** Ran after a context loses its physical frames, so stale
+     *  per-SM translations can be flushed. */
+    void setRemapNotifier(std::function<void(sim::ContextId)> fn);
+
+    /**
+     * Admit a context with a fixed device footprint.  Raises fatal()
+     * only when the footprint alone exceeds physical capacity; a
+     * context that does not fit *now* is admitted swapped out.
+     * Resident contexts hold their GpuMemory allocation and page-table
+     * mapping; swapped-out contexts hold neither.
+     */
+    void registerContext(sim::ContextId ctx, int priority,
+                         std::int64_t footprint, PageTable &pt);
+
+    /** True when @p ctx's state is in device memory right now. */
+    bool resident(sim::ContextId ctx) const;
+
+    /**
+     * Run @p ready once @p ctx's state is resident: synchronously when
+     * it already is, otherwise after the swap-in transfer (and any
+     * evictions making room for it) completes.  Requests that cannot
+     * make room yet — every resident context pinned — park until
+     * onPinsReleased().
+     */
+    void ensureResident(sim::ContextId ctx, std::function<void()> ready);
+
+    /** An SM released its kernel somewhere: retry parked requests. */
+    void onPinsReleased();
+
+    /** @name Swap accounting (tests, analyses)
+     * @{ */
+    std::uint64_t swapIns() const { return swapIns_; }
+    std::uint64_t swapOuts() const { return swapOuts_; }
+    double swapBytes() const { return swapBytes_.value(); }
+    /** Requests currently parked for want of an evictable victim. */
+    std::size_t parkedRequests() const { return parked_.size(); }
+    /** @} */
+
+  private:
+    enum class State
+    {
+        Resident,   ///< allocation + mapping held, state on device
+        SwappingIn, ///< allocation held, swap-in transfer in flight
+        SwappedOut, ///< no allocation, state lives on the host
+    };
+
+    struct CtxInfo
+    {
+        State state = State::SwappedOut;
+        int priority = 0;
+        std::int64_t footprint = 0;
+        PageTable *pt = nullptr;
+        std::uint64_t lastUse = 0; ///< LRU clock for victim selection
+        bool parked = false;       ///< sitting in parked_
+        std::vector<std::function<void()>> waiters;
+    };
+
+    CtxInfo &info(sim::ContextId ctx);
+    const CtxInfo *find(sim::ContextId ctx) const;
+
+    /** Evict LRU unpinned residents until @p bytes fit; false when no
+     *  victim remains (caller parks the request). */
+    bool makeRoom(std::int64_t bytes, sim::ContextId incoming);
+    void evict(sim::ContextId victim);
+    /** Allocate, map and start the swap-in transfer; false when room
+     *  could not be made. */
+    bool tryStartSwapIn(sim::ContextId ctx);
+    void finishSwapIn(sim::ContextId ctx);
+    void retryParked();
+
+    GpuMemory *gmem_;
+    SwapSubmit submit_;
+    std::function<bool(sim::ContextId)> pinned_;
+    std::function<void(sim::ContextId)> remapNotify_;
+    std::map<sim::ContextId, CtxInfo> ctxs_;
+    std::uint64_t useClock_ = 0;
+    std::vector<sim::ContextId> parked_; ///< FIFO of waiting contexts
+
+    std::uint64_t swapIns_ = 0;
+    std::uint64_t swapOuts_ = 0;
+    sim::Scalar swapInsStat_;
+    sim::Scalar swapOutsStat_;
+    sim::Scalar swapBytes_;
+};
+
+} // namespace memory
+} // namespace gpump
+
+#endif // GPUMP_MEMORY_RESIDENCY_HH

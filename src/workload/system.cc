@@ -59,7 +59,29 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
 
     framework_ = std::make_unique<core::SchedulingFramework>(
         *sim_, gpuParams_, *gmem_, *dispatcher_);
+    framework_->setTransferEngine(transferEngine_.get());
     framework_->setMechanism(core::makeMechanism(spec_.mechanism, cfg));
+
+    // Device-memory residency: swap transfers ride the same transfer
+    // engine as workload copies; the engine-side questions (pinning,
+    // TLB shootdown after a remap) route back into the framework.
+    residency_ = std::make_unique<memory::ResidencyManager>(
+        sim_->stats(), *gmem_,
+        [this](sim::ContextId ctx, int priority, std::int64_t bytes,
+               bool to_device, std::function<void()> done) {
+            framework_->submitContextTransfer(
+                ctx, priority, bytes,
+                to_device ? gpu::Command::Kind::MemcpyH2D
+                          : gpu::Command::Kind::MemcpyD2H,
+                std::move(done));
+        });
+    residency_->setPinQuery([this](sim::ContextId ctx) {
+        return framework_->contextPinned(ctx);
+    });
+    residency_->setRemapNotifier([this](sim::ContextId ctx) {
+        framework_->onContextRemapped(ctx);
+    });
+    framework_->setResidency(residency_.get());
 
     // Let the selected policy fill contextual defaults now that the
     // machine and workload sizes are known (e.g. DSS's equal-share
@@ -91,14 +113,16 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
             static_cast<sim::ContextId>(i),
             static_cast<sim::ProcessId>(i), priority, *frames_);
 
-        // The process's device footprint: inputs, outputs and scratch
-        // all live in GPU memory for the process's lifetime (no
-        // demand paging on this hardware, Section 2.2).
+        // The process's device footprint: inputs, outputs and scratch.
+        // The residency manager admits it — resident immediately when
+        // it fits next to the contexts already admitted (the common
+        // case, exactly the old direct allocation), swapped out
+        // otherwise; only a footprint too big for the device on its
+        // own is fatal.
         std::int64_t footprint =
             bench.bytesH2D() + bench.bytesD2H() + scratch_bytes;
-        gmem_->allocate(ctx->id(), footprint);
-        if (!ctx->pageTable().map(0, static_cast<std::uint64_t>(footprint)))
-            sim::fatal("out of GPU page frames for process %zu", i);
+        residency_->registerContext(ctx->id(), priority, footprint,
+                                    ctx->pageTable());
 
         gpu::CommandQueue *queue = dispatcher_->createQueue(
             ctx->id(), gpuParams_.numHwQueues);

@@ -27,6 +27,7 @@
 #include "memory/gpu_memory.hh"
 #include "memory/page_table.hh"
 #include "memory/pcie.hh"
+#include "memory/residency.hh"
 #include "sim/simulation.hh"
 #include "trace/app_model.hh"
 #include "workload/host_cpu.hh"
@@ -93,6 +94,8 @@ class System
     sim::Simulation &sim() { return *sim_; }
     core::SchedulingFramework &framework() { return *framework_; }
     gpu::TransferEngine &transferEngine() { return *transferEngine_; }
+    /** Device-memory residency (swap accounting for tests/analyses). */
+    memory::ResidencyManager &residency() { return *residency_; }
     HostCpu &hostCpu() { return *hostCpu_; }
     const gpu::GpuParams &gpuParams() const { return gpuParams_; }
     /** The command pool all processes draw from (observability for
@@ -132,6 +135,9 @@ class System
     std::unique_ptr<gpu::TransferEngine> transferEngine_;
     std::unique_ptr<gpu::Dispatcher> dispatcher_;
     std::unique_ptr<core::SchedulingFramework> framework_;
+    /** Declared after framework_: the manager's callbacks point into
+     *  the framework and must be torn down first. */
+    std::unique_ptr<memory::ResidencyManager> residency_;
     std::unique_ptr<HostCpu> hostCpu_;
     std::vector<std::unique_ptr<gpu::GpuContext>> contexts_;
     std::vector<std::unique_ptr<gpu::Stream>> streams_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "memory/gpu_memory.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -35,6 +37,49 @@ TEST(GpuMemory, NoDemandPagingOverflowIsFatal)
     EXPECT_THROW(m.allocate(1, 200), sim::FatalError)
         << "allocations from all contexts must fit in physical memory";
     EXPECT_EQ(m.totalAllocated(), 900) << "failed alloc changes nothing";
+}
+
+TEST(GpuMemory, CapacityCheckDoesNotOverflow)
+{
+    // The admission check is `bytes > capacity - total_`, not
+    // `total_ + bytes > capacity`: the sum form overflows std::int64_t
+    // for adversarial capacity/allocation pairs (signed overflow is
+    // UB, and with wrapping semantics the oversized allocation would
+    // be ADMITTED because the sum goes negative).
+    sim::StatRegistry reg;
+    GpuMemoryParams p;
+    p.capacity = std::numeric_limits<std::int64_t>::max() - 10;
+    GpuMemory m(reg, p);
+    m.allocate(0, 1000);
+    EXPECT_THROW(
+        m.allocate(1, std::numeric_limits<std::int64_t>::max() - 500),
+        sim::FatalError)
+        << "near-INT64_MAX allocation must be rejected, not wrapped";
+    EXPECT_EQ(m.totalAllocated(), 1000);
+}
+
+TEST(GpuMemory, CapacityBoundaryIsExact)
+{
+    sim::StatRegistry reg;
+    GpuMemoryParams p;
+    p.capacity = 1000;
+    GpuMemory m(reg, p);
+    m.allocate(0, 999);
+    m.allocate(1, 1); // exactly full is legal
+    EXPECT_EQ(m.totalAllocated(), 1000);
+    EXPECT_THROW(m.allocate(2, 1), sim::FatalError)
+        << "one byte past capacity must fail";
+    m.free(1, 1);
+    m.allocate(2, 1); // freed byte is reusable
+    EXPECT_EQ(m.totalAllocated(), 1000);
+}
+
+TEST(GpuMemory, NegativeMoveBytesPanics)
+{
+    sim::StatRegistry reg;
+    GpuMemory m(reg, GpuMemoryParams{});
+    EXPECT_THROW(m.moveTime(-1, 13), sim::PanicError)
+        << "a negative payload is a caller bug, not a zero-time move";
 }
 
 TEST(GpuMemory, FreeingUnownedPanics)

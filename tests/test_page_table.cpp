@@ -32,6 +32,36 @@ TEST(FrameAllocator, ExhaustionAndRecycling)
     (void)b;
 }
 
+TEST(FrameAllocator, DoubleReleasePanics)
+{
+    // A double free would put the frame on the free list twice, and
+    // two later allocations would hand the SAME physical frame to two
+    // page tables — silent aliasing between address spaces.
+    FrameAllocator fa(4);
+    auto a = fa.allocate();
+    ASSERT_TRUE(a);
+    fa.release(*a);
+    EXPECT_THROW(fa.release(*a), sim::PanicError);
+    EXPECT_EQ(fa.freeFrames(), 4u) << "failed release changes nothing";
+}
+
+TEST(FrameAllocator, ReleaseOfUnalignedFramePanics)
+{
+    FrameAllocator fa(4);
+    auto a = fa.allocate();
+    ASSERT_TRUE(a);
+    EXPECT_THROW(fa.release(*a + 1), sim::PanicError)
+        << "frame bases are page-aligned by construction";
+}
+
+TEST(FrameAllocator, ReleaseOfNeverAllocatedFramePanics)
+{
+    FrameAllocator fa(4);
+    (void)fa.allocate();
+    // Frame base beyond anything the allocator ever handed out.
+    EXPECT_THROW(fa.release(10 * gpuPageBytes), sim::PanicError);
+}
+
 TEST(PageTable, MapTranslateUnmap)
 {
     FrameAllocator fa(16);
@@ -140,6 +170,20 @@ TEST(Tlb, FlushDropsEverything)
     tlb.access(pt, 0);
     EXPECT_EQ(tlb.misses(), 2u);
     EXPECT_EQ(tlb.hits(), 0u);
+}
+
+TEST(Tlb, FlushCountIsObservable)
+{
+    FrameAllocator fa(8);
+    PageTable pt(fa);
+    ASSERT_TRUE(pt.map(0, 2 * gpuPageBytes));
+    Tlb tlb(4);
+    EXPECT_EQ(tlb.flushes(), 0u);
+    (void)tlb.access(pt, 0);
+    tlb.flush();
+    tlb.flush(); // flushing an empty TLB still counts — the driver
+                 // issued it, which is what the counter observes
+    EXPECT_EQ(tlb.flushes(), 2u);
 }
 
 TEST(Tlb, FaultsAreNotCached)

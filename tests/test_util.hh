@@ -74,6 +74,7 @@ struct DeviceRig
         xfer.setCompletionNotifier([this](gpu::CommandQueue *q) {
             dispatcher.onCommandCompleted(q);
         });
+        framework.setTransferEngine(&xfer);
         framework.setMechanism(
             core::makeMechanism(mechanism, sim.config()));
         framework.setPolicy(core::makePolicy(policy, sim.config()));
