@@ -26,11 +26,15 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
     # The figure/table benches run their batches on a thread pool;
     # micro_simcore is Google Benchmark and rejects foreign flags.
     jobs_flag="--jobs=$JOBS"
+    extra_flags=""
     case "$name" in
         *micro*) jobs_flag="" ;;
+        # The serving sweep also lands its per-run records (per-class
+        # p99/miss/goodput vs load) as JSONL for replotting.
+        *serve*) extra_flags="--jsonl=$OUT_DIR/$name.jsonl" ;;
     esac
     echo "== $name"
-    if "$bin" $jobs_flag "$@" > "$OUT_DIR/$name.txt" 2>&1; then
+    if "$bin" $jobs_flag $extra_flags "$@" > "$OUT_DIR/$name.txt" 2>&1; then
         echo "   -> $OUT_DIR/$name.txt"
     else
         echo "   FAILED (see $OUT_DIR/$name.txt)" >&2

@@ -177,6 +177,18 @@ JsonObject::add(const std::string &key, const std::vector<double> &values)
 
 JsonObject &
 JsonObject::add(const std::string &key,
+                const std::vector<std::int64_t> &values)
+{
+    std::string arr = "[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        arr += (i ? "," : "") + std::to_string(values[i]);
+    arr += ']';
+    fields_.emplace_back(key, std::move(arr));
+    return *this;
+}
+
+JsonObject &
+JsonObject::add(const std::string &key,
                 const std::vector<std::string> &values)
 {
     std::string arr = "[";

@@ -75,6 +75,8 @@ class JsonObject
     JsonObject &add(const std::string &key,
                     const std::vector<double> &values);
     JsonObject &add(const std::string &key,
+                    const std::vector<std::int64_t> &values);
+    JsonObject &add(const std::string &key,
                     const std::vector<std::string> &values);
 
     /** Render as one-line "{...}". */

@@ -121,14 +121,30 @@ Runner::execute(const RunRequest &request)
     sim::Config cfg = base_;
     cfg.merge(request.overrides);
 
+    // A serving request compiles its scenario (open-loop arrival
+    // schedules, admission bounds, tenant priorities); a plain
+    // request replays its plan closed-loop.  Everything downstream —
+    // sharded baselines, ANTT/STP, result collection — is shared, so
+    // the serving path inherits the batch determinism contract as-is.
     workload::SystemSpec spec;
-    spec.benchmarks = request.plan.benchmarks;
-    spec.priorities = request.plan.priorities();
-    spec.policy = request.scheme.policy;
-    spec.mechanism = request.scheme.mechanism;
-    spec.transferPolicy = request.scheme.transferPolicy;
-    spec.seed = request.plan.seed;
-    spec.minReplays = request.minReplays;
+    if (request.serving) {
+        spec = serve::toSystemSpec(*request.serving,
+                                   request.scheme.policy,
+                                   request.scheme.mechanism,
+                                   request.scheme.transferPolicy);
+    } else {
+        spec.benchmarks = request.plan.benchmarks;
+        spec.priorities = request.plan.priorities();
+        spec.policy = request.scheme.policy;
+        spec.mechanism = request.scheme.mechanism;
+        spec.transferPolicy = request.scheme.transferPolicy;
+        spec.seed = request.plan.seed;
+        spec.minReplays = request.minReplays;
+    }
+    // Baselines follow the processes actually simulated (== the plan's
+    // benchmarks for plain requests; serving requests may leave the
+    // plan empty).
+    const std::vector<std::string> &benchmarks = spec.benchmarks;
 
     workload::System system(spec, cfg);
 
@@ -146,7 +162,7 @@ Runner::execute(const RunRequest &request)
     std::atomic<std::size_t> nextShard{0};
     ShardPool shards;
     if (runShards_ > 1) {
-        for (const auto &b : request.plan.benchmarks) {
+        for (const auto &b : benchmarks) {
             if (std::find(distinct.begin(), distinct.end(), b) ==
                 distinct.end())
                 distinct.push_back(b);
@@ -187,12 +203,17 @@ Runner::execute(const RunRequest &request)
             .count();
     for (auto &t : shards.threads)
         t.join();
-    out.isolatedUs.reserve(request.plan.benchmarks.size());
-    for (const auto &b : request.plan.benchmarks)
+    out.isolatedUs.reserve(benchmarks.size());
+    for (const auto &b : benchmarks)
         out.isolatedUs.push_back(
             baselines_.timeUs(b, cfg, request.minReplays));
     out.metrics = metrics::computeMetrics(out.isolatedUs,
                                           out.sys.meanTurnaroundUs);
+    if (request.serving) {
+        out.servingRun = true;
+        out.serving = serve::computeServingMetrics(
+            *request.serving, out.sys, out.isolatedUs);
+    }
     return out;
 }
 

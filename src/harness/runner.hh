@@ -31,11 +31,13 @@
 #include <future>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "metrics/metrics.hh"
+#include "serve/slo.hh"
 #include "sim/config.hh"
 #include "workload/generator.hh"
 #include "workload/system.hh"
@@ -68,6 +70,14 @@ struct RunRequest
 {
     /** The workload (benchmarks + optional prioritized process). */
     workload::WorkloadPlan plan;
+    /** Cloud-serving mode: when set, the simulation is built from
+     *  this scenario (open-loop arrival schedules, admission bounds,
+     *  tenant priorities) instead of from `plan`, and the result
+     *  additionally carries serving metrics.  The scenario's tenant
+     *  benchmarks drive the isolated-baseline replays, so `plan` may
+     *  be left empty.  Shared because many requests of a batch
+     *  (scheme columns) run the same scenario. */
+    std::shared_ptr<const serve::ScenarioSpec> serving;
     /** The scheduling scheme to run it under. */
     Scheme scheme;
     /** Config overrides merged on top of the Runner's base config. */
@@ -99,6 +109,12 @@ struct RunResult
     std::vector<double> isolatedUs;
     /** Full simulation outcome (turnarounds, counters, run records). */
     workload::SystemResult sys;
+
+    /** True when the request carried a serving scenario. */
+    bool servingRun = false;
+    /** Per-class tail-latency/SLO metrics (serve/slo.hh); only
+     *  meaningful when servingRun is set. */
+    serve::ServingMetrics serving;
 
     /** @name Simulator throughput telemetry
      * Wall-clock cost of the run and the resulting simulation rate.

@@ -67,6 +67,38 @@ Suite::fixedPlans(std::vector<workload::WorkloadPlan> plans)
 }
 
 Suite &
+Suite::serving(std::vector<serve::ScenarioSpec> scenarios)
+{
+    GPUMP_ASSERT(!scenarios.empty(),
+                 "suite '%s': serving() needs at least one scenario",
+                 name_.c_str());
+    serving_.clear();
+    std::vector<workload::WorkloadPlan> plans;
+    std::set<std::string> names;
+    for (serve::ScenarioSpec &sc : scenarios) {
+        sc.validate();
+        if (!names.insert(sc.name).second) {
+            sim::fatal("suite '%s' has two scenarios named '%s'",
+                       name_.c_str(), sc.name.c_str());
+        }
+        auto shared = std::make_shared<const serve::ScenarioSpec>(
+            std::move(sc));
+        workload::WorkloadPlan plan;
+        for (const serve::TenantSpec &t : shared->tenants)
+            plan.benchmarks.push_back(t.benchmark);
+        plan.seed = shared->seed;
+        plans.push_back(std::move(plan));
+        serving_.push_back(std::move(shared));
+    }
+    // One size bucket; the "size" coordinate is meaningless for
+    // scenarios (tenant counts may differ per plan), so it is 0 and
+    // reports key on the scenario name instead.
+    sizes_ = {0};
+    plansFor_ = [plans = std::move(plans)](int) { return plans; };
+    return *this;
+}
+
+Suite &
 Suite::scheme(std::string name, Scheme s)
 {
     return scheme(std::move(name), std::move(s), sim::Config());
@@ -183,8 +215,14 @@ Suite::build() const
                 req.minReplays = minReplays_;
                 req.limit = limit_;
                 req.index = batch.requests.size();
-                req.tag = name_ + "/size=" + std::to_string(size) +
-                    "/plan=" + std::to_string(pi) + "/" + spec.name;
+                if (!serving_.empty()) {
+                    req.serving = serving_[pi];
+                    req.tag = name_ + "/" + req.serving->name + "/" +
+                        spec.name;
+                } else {
+                    req.tag = name_ + "/size=" + std::to_string(size) +
+                        "/plan=" + std::to_string(pi) + "/" + spec.name;
+                }
                 batch.requests.push_back(std::move(req));
             }
         }
@@ -264,6 +302,52 @@ writeResultsJsonl(const std::string &path, const Batch &batch,
                          static_cast<std::int64_t>(r.sys.eventsExecuted))
                     .add("wall_seconds", r.wallSeconds)
                     .add("events_per_sec", r.eventsPerSec());
+                if (r.servingRun) {
+                    // Per-class SLO metrics, index-aligned vectors
+                    // (non-finite values — empty classes, undefined
+                    // fairness — render as null by JsonObject's
+                    // convention).
+                    std::vector<std::string> cls;
+                    std::vector<std::int64_t> requests, completed,
+                        dropped, misses, counts;
+                    std::vector<double> mean, p50, p99, p999, maxv,
+                        miss_rate, tput, goodput;
+                    for (const serve::ClassMetrics &c :
+                         r.serving.classes) {
+                        cls.push_back(c.name);
+                        requests.push_back(c.requests);
+                        completed.push_back(c.completed);
+                        dropped.push_back(c.dropped);
+                        misses.push_back(c.deadlineMisses);
+                        counts.push_back(c.latency.n);
+                        mean.push_back(c.latency.mean);
+                        p50.push_back(c.latency.p50);
+                        p99.push_back(c.latency.p99);
+                        p999.push_back(c.latency.p999);
+                        maxv.push_back(c.latency.max);
+                        miss_rate.push_back(c.missRate);
+                        tput.push_back(c.throughputPerSec);
+                        goodput.push_back(c.goodputPerSec);
+                    }
+                    o.add("scenario", req.serving->name)
+                        .add("horizon_us", req.serving->horizonUs)
+                        .add("classes", cls)
+                        .add("requests", requests)
+                        .add("completed", completed)
+                        .add("dropped", dropped)
+                        .add("deadline_misses", misses)
+                        .add("latency_n", counts)
+                        .add("latency_mean_us", mean)
+                        .add("latency_p50_us", p50)
+                        .add("latency_p99_us", p99)
+                        .add("latency_p999_us", p999)
+                        .add("latency_max_us", maxv)
+                        .add("miss_rate", miss_rate)
+                        .add("throughput_per_sec", tput)
+                        .add("goodput_per_sec", goodput)
+                        .add("window_fairness", r.serving.windowFairness)
+                        .add("window_us", r.serving.windowUs);
+                }
                 out.write(o);
             }
         }

@@ -90,6 +90,17 @@ class Suite
     /** A fixed, caller-built plan list (single size bucket). */
     Suite &fixedPlans(std::vector<workload::WorkloadPlan> plans);
 
+    /**
+     * Cloud-serving scenarios (single size bucket, one "plan" per
+     * scenario): every request carries its scenario, the Runner
+     * builds the simulation from it (open-loop arrivals, admission
+     * control), and results gain per-class SLO metrics next to
+     * ANTT/STP.  Each scenario's plan lists the tenant benchmarks
+     * (for the isolated baselines) under the scenario seed.
+     * Scenarios are validated here, before any simulation runs.
+     */
+    Suite &serving(std::vector<serve::ScenarioSpec> scenarios);
+
     /** Append a scheme column. */
     Suite &scheme(std::string name, Scheme s);
 
@@ -131,6 +142,9 @@ class Suite
     std::string name_;
     std::vector<int> sizes_{0};
     std::function<std::vector<workload::WorkloadPlan>(int)> plansFor_;
+    /** Scenario behind each plan of the single serving bucket; empty
+     *  for plain (closed-loop) suites. */
+    std::vector<std::shared_ptr<const serve::ScenarioSpec>> serving_;
     std::vector<SchemeSpec> schemes_;
     int minReplays_ = 3;
     sim::SimTime limit_ = sim::maxTime;

@@ -1,0 +1,51 @@
+#include "metrics/slo.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace metrics {
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    GPUMP_ASSERT(std::isfinite(q), "non-finite quantile");
+    const std::size_t n = sorted.size();
+    // Nearest rank: ceil(q * n), clamped to [1, n].
+    double r = std::ceil(q * static_cast<double>(n));
+    std::size_t rank = r < 1.0 ? 1
+        : r > static_cast<double>(n)
+        ? n
+        : static_cast<std::size_t>(r);
+    return sorted[rank - 1];
+}
+
+LatencySummary
+summarizeLatencies(std::vector<double> samples)
+{
+    LatencySummary s;
+    s.n = static_cast<std::int64_t>(samples.size());
+    if (samples.empty()) {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        s.mean = s.p50 = s.p99 = s.p999 = s.max = nan;
+        return s;
+    }
+    std::sort(samples.begin(), samples.end());
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / static_cast<double>(samples.size());
+    s.p50 = percentileSorted(samples, 0.50);
+    s.p99 = percentileSorted(samples, 0.99);
+    s.p999 = percentileSorted(samples, 0.999);
+    s.max = samples.back();
+    return s;
+}
+
+} // namespace metrics
+} // namespace gpump

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tail-latency statistics for serving workloads (DESIGN.md §9).
+ *
+ * Percentiles are computed as *exact order statistics* over the full
+ * sample — never from histograms, whose bucket error is unpinned —
+ * with the nearest-rank definition:
+ *
+ *     P(q) = x_(ceil(q * n))        (1-based rank into the sorted
+ *                                    sample, clamped to [1, n])
+ *
+ * The definition is total on every sample size, which pins the edge
+ * cases the serving metrics depend on:
+ *  - n = 0: no order statistics exist — every percentile is quiet
+ *    NaN, which the JSONL writers serialize as null (the PR 5
+ *    non-finite contract, harness/report.hh);
+ *  - n = 1: every percentile is the single sample;
+ *  - small n: P(0.99) with n < 100 is the maximum (ceil rounds up to
+ *    rank n), P(0.999) likewise for n < 1000 — a p99 over a tiny
+ *    sample honestly degrades to the worst case rather than
+ *    interpolating data that is not there.
+ */
+
+#ifndef GPUMP_METRICS_SLO_HH
+#define GPUMP_METRICS_SLO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpump {
+namespace metrics {
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample.
+ *
+ * @param sorted ascending sample (not checked; sort it).
+ * @param q      quantile in [0, 1]; q <= 0 gives the minimum and
+ *               q >= 1 the maximum.
+ * @return quiet NaN for an empty sample.
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/** Exact-order-statistic latency summary of one sample. */
+struct LatencySummary
+{
+    std::int64_t n = 0;
+    /** All quiet NaN when n == 0 (JSON null in reports). */
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize @p samples (copied and sorted internally). */
+LatencySummary summarizeLatencies(std::vector<double> samples);
+
+} // namespace metrics
+} // namespace gpump
+
+#endif // GPUMP_METRICS_SLO_HH

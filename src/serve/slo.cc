@@ -1,0 +1,164 @@
+#include "serve/slo.hh"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace serve {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/**
+ * Worst-window cross-class fairness (file doc of serve/slo.hh).
+ *
+ * Completions are bucketed into fixed windows by completion time
+ * (tail completions past the horizon land in later windows — work
+ * admitted before the horizon still counts).  A window qualifies when
+ * at least two classes complete in it; its fairness is the min/max
+ * ratio of the classes' mean normalized latencies.  Returns the
+ * minimum over qualifying windows, NaN when none qualifies.
+ */
+double
+worstWindowFairness(const ScenarioSpec &spec,
+                    const workload::SystemResult &result,
+                    const std::vector<double> &isolated_us,
+                    const std::vector<std::size_t> &class_of_tenant,
+                    std::size_t num_classes, double window_us)
+{
+    if (isolated_us.empty() || num_classes < 2)
+        return kNaN;
+    // (window, class) -> (sum of normalized latencies, count).
+    std::map<std::int64_t, std::vector<std::pair<double, std::int64_t>>>
+        windows;
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+        double iso = isolated_us[i];
+        if (!(iso > 0.0) || !std::isfinite(iso))
+            return kNaN; // degenerate baseline: fairness undefined
+        for (const workload::RunRecord &r : result.runs[i]) {
+            double end_us = sim::toMicroseconds(r.end);
+            auto w = static_cast<std::int64_t>(end_us / window_us);
+            auto &cells = windows[w];
+            if (cells.empty())
+                cells.resize(num_classes, {0.0, 0});
+            auto &cell = cells[class_of_tenant[i]];
+            cell.first += sim::toMicroseconds(r.latency()) / iso;
+            cell.second += 1;
+        }
+    }
+    double worst = kNaN;
+    for (const auto &entry : windows) {
+        double lo = 0.0, hi = 0.0;
+        int present = 0;
+        for (const auto &cell : entry.second) {
+            if (cell.second == 0)
+                continue;
+            double mean =
+                cell.first / static_cast<double>(cell.second);
+            if (present == 0) {
+                lo = hi = mean;
+            } else {
+                lo = mean < lo ? mean : lo;
+                hi = mean > hi ? mean : hi;
+            }
+            ++present;
+        }
+        if (present < 2)
+            continue;
+        double f = hi > 0.0 ? lo / hi : 1.0;
+        if (std::isnan(worst) || f < worst)
+            worst = f;
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+ServingMetrics::classIndex(const std::string &class_name) const
+{
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        if (classes[i].name == class_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+ServingMetrics
+computeServingMetrics(const ScenarioSpec &spec,
+                      const workload::SystemResult &result,
+                      const std::vector<double> &isolated_us)
+{
+    GPUMP_ASSERT(result.runs.size() == spec.tenants.size() &&
+                     result.droppedRequests.size() ==
+                         spec.tenants.size(),
+                 "scenario/result tenant count mismatch (%zu vs %zu)",
+                 spec.tenants.size(), result.runs.size());
+    GPUMP_ASSERT(isolated_us.empty() ||
+                     isolated_us.size() == spec.tenants.size(),
+                 "isolated baselines/tenants size mismatch (%zu vs "
+                 "%zu)",
+                 isolated_us.size(), spec.tenants.size());
+
+    ServingMetrics out;
+    out.windowUs =
+        spec.windowUs > 0.0 ? spec.windowUs : spec.horizonUs / 10.0;
+
+    // Classes in first-appearance order across the tenants.
+    std::vector<std::size_t> class_of_tenant(spec.tenants.size());
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+        int idx = out.classIndex(spec.tenants[i].className);
+        if (idx < 0) {
+            idx = static_cast<int>(out.classes.size());
+            ClassMetrics c;
+            c.name = spec.tenants[i].className;
+            out.classes.push_back(std::move(c));
+        }
+        class_of_tenant[i] = static_cast<std::size_t>(idx);
+    }
+
+    // Per-class tallies over every tenant's request records.  A run's
+    // requests all resolve by the end of the run (completed or
+    // dropped), so requests = completed + dropped.
+    std::vector<std::vector<double>> latencies(out.classes.size());
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+        const TenantSpec &t = spec.tenants[i];
+        ClassMetrics &c = out.classes[class_of_tenant[i]];
+        c.dropped += result.droppedRequests[i];
+        for (const workload::RunRecord &r : result.runs[i]) {
+            double lat_us = sim::toMicroseconds(r.latency());
+            latencies[class_of_tenant[i]].push_back(lat_us);
+            ++c.completed;
+            if (t.deadlineUs > 0.0 && lat_us > t.deadlineUs)
+                ++c.deadlineMisses;
+        }
+    }
+
+    const double horizon_sec = spec.horizonUs / 1e6;
+    for (std::size_t ci = 0; ci < out.classes.size(); ++ci) {
+        ClassMetrics &c = out.classes[ci];
+        c.requests = c.completed + c.dropped;
+        c.latency = metrics::summarizeLatencies(std::move(latencies[ci]));
+        c.missRate = c.requests > 0
+            ? static_cast<double>(c.deadlineMisses + c.dropped) /
+                static_cast<double>(c.requests)
+            : kNaN;
+        c.throughputPerSec =
+            static_cast<double>(c.completed) / horizon_sec;
+        c.goodputPerSec =
+            static_cast<double>(c.completed - c.deadlineMisses) /
+            horizon_sec;
+    }
+
+    out.windowFairness = worstWindowFairness(
+        spec, result, isolated_us, class_of_tenant, out.classes.size(),
+        out.windowUs);
+    return out;
+}
+
+} // namespace serve
+} // namespace gpump

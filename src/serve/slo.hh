@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-class serving metrics: tail latency, deadline misses, goodput
+ * and sliding-window fairness (DESIGN.md §9).
+ *
+ * These are the numbers production GPU serving is judged by, computed
+ * from a scenario run's request records and reported *alongside* the
+ * paper's ANTT/STP (which the harness still derives from the same
+ * run):
+ *
+ *  - latency percentiles: exact order statistics over each class's
+ *    completed-request response times (arrival -> completion,
+ *    backlog wait included), via metrics/slo.hh — p50/p99/p999 with
+ *    pinned small-sample semantics, never histograms;
+ *  - deadline-miss rate: (completed late + dropped) / requests for
+ *    classes with a deadline; drops always count as misses;
+ *  - goodput: deadline-meeting completions per second of scenario
+ *    horizon (all completions for deadline-less classes) — the
+ *    overload metric: offered load beyond capacity shows up as the
+ *    gap between throughput and goodput;
+ *  - sliding-window fairness: the run is cut into fixed windows; in
+ *    each, every class's mean *normalized* latency (response time
+ *    over its tenants' isolated execution time — the serving analogue
+ *    of the paper's NTT) is compared, and the window's fairness is
+ *    min/max across classes, exactly the Eyerman-Eeckhout fairness
+ *    shape.  The reported value is the worst window — a scheduler
+ *    that starves a class for one window cannot hide behind a good
+ *    whole-run average.
+ */
+
+#ifndef GPUMP_SERVE_SLO_HH
+#define GPUMP_SERVE_SLO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/slo.hh"
+#include "serve/scenario.hh"
+
+namespace gpump {
+namespace serve {
+
+/** Serving metrics of one priority/deadline class. */
+struct ClassMetrics
+{
+    std::string name;
+    /** Released requests (timeline entries) across the class. */
+    std::int64_t requests = 0;
+    /** Requests that completed execution. */
+    std::int64_t completed = 0;
+    /** Requests rejected by admission control. */
+    std::int64_t dropped = 0;
+    /** Completed requests that finished after their deadline. */
+    std::int64_t deadlineMisses = 0;
+
+    /** Response-time (latency) summary over completed requests,
+     *  microseconds.  All-NaN when the class completed nothing. */
+    metrics::LatencySummary latency;
+
+    /** (deadlineMisses + dropped) / requests; NaN when the class
+     *  released no requests. */
+    double missRate = 0.0;
+    /** Completions per second of scenario horizon. */
+    double throughputPerSec = 0.0;
+    /** Deadline-meeting completions per second of scenario horizon
+     *  (== throughputPerSec for deadline-less classes). */
+    double goodputPerSec = 0.0;
+};
+
+/** The full serving metric set of one scenario run. */
+struct ServingMetrics
+{
+    /** Per-class metrics, in first-appearance order of the classes
+     *  across the scenario's tenants. */
+    std::vector<ClassMetrics> classes;
+    /** Worst-window cross-class fairness in [0, 1] (see file doc);
+     *  NaN when fewer than two classes ever complete in the same
+     *  window, or when no isolated baselines were supplied. */
+    double windowFairness = 0.0;
+    /** The window width used, microseconds. */
+    double windowUs = 0.0;
+
+    /** Index of @p class_name in classes; -1 when absent. */
+    int classIndex(const std::string &class_name) const;
+};
+
+/**
+ * Compute the serving metric set of one scenario run.
+ *
+ * @param spec        the scenario that produced @p result.
+ * @param result      the run (per-tenant records and drop counts).
+ * @param isolated_us per-tenant isolated execution times for the
+ *                    normalized window fairness; empty = fairness
+ *                    reported as NaN.
+ */
+ServingMetrics
+computeServingMetrics(const ScenarioSpec &spec,
+                      const workload::SystemResult &result,
+                      const std::vector<double> &isolated_us = {});
+
+} // namespace serve
+} // namespace gpump
+
+#endif // GPUMP_SERVE_SLO_HH

@@ -45,11 +45,80 @@ Process::Process(sim::Simulation &sim, sim::ProcessId id,
 }
 
 void
+Process::setArrivalSchedule(std::vector<sim::SimTime> arrivals,
+                            int max_backlog)
+{
+    GPUMP_ASSERT(!running_ && completedRuns_ == 0,
+                 "arrival schedule must be set before start()");
+    GPUMP_ASSERT(max_backlog >= 0, "negative admission backlog");
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        GPUMP_ASSERT(arrivals[i] >= 0, "negative arrival time");
+        GPUMP_ASSERT(i == 0 || arrivals[i] >= arrivals[i - 1],
+                     "arrival schedule must be nondecreasing");
+    }
+    openLoop_ = true;
+    arrivals_ = std::move(arrivals);
+    maxBacklog_ = max_backlog;
+    records_.reserve(arrivals_.size());
+}
+
+void
 Process::start()
 {
+    if (openLoop_) {
+        if (arrivals_.empty()) {
+            maybeFinish();
+            return;
+        }
+        sim_->events().schedule(arrivals_[0], [this] { onArrival(); });
+        return;
+    }
     runStart_ = sim_->now();
+    release_ = runStart_;
     cursor_ = 0;
     step();
+}
+
+void
+Process::onArrival()
+{
+    sim::SimTime release = arrivals_[nextArrival_++];
+    // Arm the next arrival before acting on this one so the stream
+    // keeps exactly one pending arrival event (O(streams) queue
+    // pressure, not O(requests)).
+    if (nextArrival_ < arrivals_.size()) {
+        sim_->events().schedule(arrivals_[nextArrival_],
+                                [this] { onArrival(); });
+    }
+    if (!running_) {
+        running_ = true;
+        release_ = release;
+        runStart_ = sim_->now();
+        cursor_ = 0;
+        step();
+        return;
+    }
+    if (maxBacklog_ > 0 &&
+        backlog_.size() >= static_cast<std::size_t>(maxBacklog_)) {
+        ++dropped_; // admission control: reject, don't queue
+        maybeFinish();
+        return;
+    }
+    backlog_.push_back(release);
+}
+
+void
+Process::maybeFinish()
+{
+    if (static_cast<std::size_t>(completedRuns_) +
+            static_cast<std::size_t>(dropped_) ==
+        arrivals_.size()) {
+        if (onFinished_) {
+            auto cb = std::move(onFinished_);
+            onFinished_ = nullptr; // fire exactly once
+            cb();
+        }
+    }
 }
 
 void
@@ -67,6 +136,17 @@ Process::meanTurnaroundUs() const
     double sum = 0.0;
     for (const auto &r : records_)
         sum += sim::toMicroseconds(r.turnaround());
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+Process::meanLatencyUs() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += sim::toMicroseconds(r.latency());
     return sum / static_cast<double>(records_.size());
 }
 
@@ -136,14 +216,29 @@ Process::step()
             }
         }
 
-        // Trace exhausted: one execution completed.  Replay
-        // immediately: the next execution's first CPU phase provides
-        // the natural inter-run gap.
-        records_.push_back(RunRecord{runStart_, sim_->now()});
+        // Trace exhausted: one execution completed.
+        records_.push_back(RunRecord{runStart_, sim_->now(), release_});
         ++completedRuns_;
         if (onRunCompleted_)
             onRunCompleted_(*this);
+        if (openLoop_) {
+            // Open loop: pop the oldest backlogged request, or go
+            // idle until the next arrival.
+            if (backlog_.empty()) {
+                running_ = false;
+                maybeFinish();
+                return;
+            }
+            release_ = backlog_.front();
+            backlog_.pop_front();
+            runStart_ = sim_->now();
+            cursor_ = 0;
+            continue;
+        }
+        // Closed loop: replay immediately (the next execution's first
+        // CPU phase provides the natural inter-run gap).
         runStart_ = sim_->now();
+        release_ = runStart_;
         cursor_ = 0;
     }
 }

@@ -34,6 +34,22 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
     }
     if (spec_.minReplays < 1)
         sim::fatal("minReplays must be at least 1");
+    if (!spec_.arrivalSchedules.empty() &&
+        spec_.arrivalSchedules.size() != apps.size()) {
+        sim::fatal("arrival-schedules/processes size mismatch "
+                   "(%zu vs %zu)",
+                   spec_.arrivalSchedules.size(), apps.size());
+    }
+    if (!spec_.admissionBacklogs.empty() &&
+        spec_.admissionBacklogs.size() != apps.size()) {
+        sim::fatal("admission-backlogs/processes size mismatch "
+                   "(%zu vs %zu)",
+                   spec_.admissionBacklogs.size(), apps.size());
+    }
+    if (spec_.arrivalSchedules.empty() &&
+        !spec_.admissionBacklogs.empty()) {
+        sim::fatal("admission backlogs require arrival schedules");
+    }
 
     sim_ = std::make_unique<sim::Simulation>(spec_.seed, overrides);
     const sim::Config &cfg = sim_->config();
@@ -132,7 +148,15 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
         auto process = std::make_unique<Process>(
             *sim_, static_cast<sim::ProcessId>(i), &bench, priority,
             *hostCpu_, *ctx, *stream, cmdPool_, launch_overhead_us);
-        process->reserveRuns(spec_.minReplays);
+        if (!spec_.arrivalSchedules.empty()) {
+            int backlog = spec_.admissionBacklogs.empty()
+                ? 0
+                : spec_.admissionBacklogs[i];
+            process->setArrivalSchedule(spec_.arrivalSchedules[i],
+                                        backlog);
+        } else {
+            process->reserveRuns(spec_.minReplays);
+        }
 
         contexts_.push_back(std::move(ctx));
         streams_.push_back(std::move(stream));
@@ -148,13 +172,23 @@ System::run(sim::SimTime limit)
 
     for (auto &p : processes_) {
         Process *proc = p.get();
-        proc->setOnRunCompleted([this](Process &q) {
-            if (q.completedRuns() == spec_.minReplays) {
+        if (proc->openLoop()) {
+            // Open loop: a process is done when its whole arrival
+            // schedule has been handled (completed or dropped).
+            proc->setOnFinished([this] {
                 if (--stillRunning_ == 0)
                     done_ = true;
-            }
-        });
-        // All processes start at t=0, co-scheduled (Section 4.1).
+            });
+        } else {
+            proc->setOnRunCompleted([this](Process &q) {
+                if (q.completedRuns() == spec_.minReplays) {
+                    if (--stillRunning_ == 0)
+                        done_ = true;
+                }
+            });
+        }
+        // All processes start at t=0, co-scheduled (Section 4.1);
+        // open-loop processes merely arm their first arrival.
         sim_->events().schedule(0, [proc] { proc->start(); });
     }
 
@@ -182,6 +216,8 @@ System::run(sim::SimTime limit)
     for (auto &p : processes_) {
         result.runs.push_back(p->records());
         result.meanTurnaroundUs.push_back(p->meanTurnaroundUs());
+        result.meanLatencyUs.push_back(p->meanLatencyUs());
+        result.droppedRequests.push_back(p->droppedRequests());
     }
     return result;
 }

@@ -6,12 +6,15 @@
  * attached to a discrete GK110-like GPU over PCIe — around a workload
  * of processes, a scheduling policy and a preemption mechanism, and
  * runs it until every process has completed the required number of
- * executions (Section 4.1's replay methodology).
+ * executions (Section 4.1's replay methodology) — or, when the spec
+ * carries arrival schedules, until every open-loop request stream has
+ * been served (the serve/ layer's cloud-serving model, DESIGN.md §9).
  */
 
 #ifndef GPUMP_WORKLOAD_SYSTEM_HH
 #define GPUMP_WORKLOAD_SYSTEM_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,8 +60,24 @@ struct SystemSpec
     std::string transferPolicy = "fcfs";
     /** Root RNG seed. */
     std::uint64_t seed = 1;
-    /** Executions each process must complete before the run ends. */
+    /** Executions each process must complete before the run ends
+     *  (closed-loop §4.1 replay; ignored under arrival schedules). */
     int minReplays = 3;
+
+    /**
+     * Open-loop request streams (the serve/ layer's model): when
+     * non-empty, one schedule per process switches the whole system
+     * to open loop — each process executes one run per arrival time
+     * (Process::setArrivalSchedule) and the run ends when every
+     * process has handled its entire schedule, not after minReplays.
+     * Schedules are absolute nondecreasing times; an empty inner
+     * vector is a tenant with no requests.
+     */
+    std::vector<std::vector<sim::SimTime>> arrivalSchedules;
+    /** Per-process admission backlog bound for open-loop streams:
+     *  an arrival finding this many requests queued is dropped.
+     *  Empty = unbounded everywhere; 0 entries = unbounded. */
+    std::vector<int> admissionBacklogs;
 };
 
 /** Outcome of one run. */
@@ -68,6 +87,12 @@ struct SystemResult
     std::vector<std::vector<RunRecord>> runs;
     /** Per-process mean turnaround (us) over completed executions. */
     std::vector<double> meanTurnaroundUs;
+    /** Per-process mean response time (arrival to completion, us);
+     *  equals meanTurnaroundUs for closed-loop runs. */
+    std::vector<double> meanLatencyUs;
+    /** Per-process requests rejected by admission control (always 0
+     *  for closed-loop runs). */
+    std::vector<std::int64_t> droppedRequests;
     /** Simulated time when the stop condition was met. */
     sim::SimTime endTime = 0;
     /** Events executed (simulator effort). */

@@ -1,0 +1,109 @@
+/**
+ * Unit tests for metrics/slo.hh: exact nearest-rank percentiles with
+ * pinned small-sample semantics (the PR's percentile edge cases:
+ * n < 100, empty sets, single samples).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/slo.hh"
+
+using namespace gpump;
+using metrics::percentileSorted;
+using metrics::summarizeLatencies;
+
+TEST(Percentile, EmptyIsNaN)
+{
+    EXPECT_TRUE(std::isnan(percentileSorted({}, 0.5)));
+    EXPECT_TRUE(std::isnan(percentileSorted({}, 0.99)));
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    std::vector<double> one{7.5};
+    EXPECT_EQ(percentileSorted(one, 0.0), 7.5);
+    EXPECT_EQ(percentileSorted(one, 0.5), 7.5);
+    EXPECT_EQ(percentileSorted(one, 0.99), 7.5);
+    EXPECT_EQ(percentileSorted(one, 0.999), 7.5);
+    EXPECT_EQ(percentileSorted(one, 1.0), 7.5);
+}
+
+TEST(Percentile, NearestRankOnSmallSets)
+{
+    std::vector<double> v{10, 20, 30, 40};
+    // ceil(0.5 * 4) = 2 -> second smallest.
+    EXPECT_EQ(percentileSorted(v, 0.50), 20);
+    // ceil(0.25 * 4) = 1 -> minimum.
+    EXPECT_EQ(percentileSorted(v, 0.25), 10);
+    // Any q with ceil(q n) = n -> maximum; for n < 100 that includes
+    // p99 and p999 — tails degrade to the max, never interpolate.
+    EXPECT_EQ(percentileSorted(v, 0.99), 40);
+    EXPECT_EQ(percentileSorted(v, 0.999), 40);
+}
+
+TEST(Percentile, ExactRanksAtScale)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(i); // sorted 1..1000
+    EXPECT_EQ(percentileSorted(v, 0.50), 500);
+    EXPECT_EQ(percentileSorted(v, 0.99), 990);
+    EXPECT_EQ(percentileSorted(v, 0.999), 999);
+    EXPECT_EQ(percentileSorted(v, 1.0), 1000);
+}
+
+TEST(Percentile, OutOfRangeQuantilesClampToExtremes)
+{
+    std::vector<double> v{1, 2, 3};
+    EXPECT_EQ(percentileSorted(v, -0.5), 1);
+    EXPECT_EQ(percentileSorted(v, 0.0), 1);
+    EXPECT_EQ(percentileSorted(v, 1.5), 3);
+}
+
+TEST(Summary, EmptyIsAllNaNWithZeroCount)
+{
+    metrics::LatencySummary s = summarizeLatencies({});
+    EXPECT_EQ(s.n, 0);
+    EXPECT_TRUE(std::isnan(s.mean));
+    EXPECT_TRUE(std::isnan(s.p50));
+    EXPECT_TRUE(std::isnan(s.p99));
+    EXPECT_TRUE(std::isnan(s.p999));
+    EXPECT_TRUE(std::isnan(s.max));
+}
+
+TEST(Summary, SingleRequestStream)
+{
+    metrics::LatencySummary s = summarizeLatencies({42.0});
+    EXPECT_EQ(s.n, 1);
+    EXPECT_EQ(s.mean, 42.0);
+    EXPECT_EQ(s.p50, 42.0);
+    EXPECT_EQ(s.p99, 42.0);
+    EXPECT_EQ(s.p999, 42.0);
+    EXPECT_EQ(s.max, 42.0);
+}
+
+TEST(Summary, SortsInputAndComputesExactOrderStatistics)
+{
+    metrics::LatencySummary s =
+        summarizeLatencies({30.0, 10.0, 40.0, 20.0});
+    EXPECT_EQ(s.n, 4);
+    EXPECT_EQ(s.mean, 25.0);
+    EXPECT_EQ(s.p50, 20.0);
+    EXPECT_EQ(s.p99, 40.0); // n < 100: tail percentiles = max
+    EXPECT_EQ(s.p999, 40.0);
+    EXPECT_EQ(s.max, 40.0);
+}
+
+TEST(Summary, TailSeparatesFromMedianAtScale)
+{
+    std::vector<double> v(999, 1.0);
+    v.push_back(1000.0); // one straggler in a thousand
+    metrics::LatencySummary s = summarizeLatencies(v);
+    EXPECT_EQ(s.p50, 1.0);
+    EXPECT_EQ(s.p99, 1.0);
+    EXPECT_EQ(s.p999, 1.0); // rank 999 of 1000
+    EXPECT_EQ(s.max, 1000.0);
+}
