@@ -55,7 +55,7 @@ main(int argc, char **argv)
     harness::Runner runner(args.config(), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("ablation_ptbq"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     harness::AsciiTable t({"order", "mean ANTT", "mean STP",
                            "max PTBQ depth", "fits on chip"});

@@ -48,7 +48,7 @@ main(int argc, char **argv)
     harness::Runner runner(args.config(), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("ablation_retarget"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     harness::AsciiTable t({"mechanism", "retarget", "mean ANTT",
                            "mean STP", "mean fairness",

@@ -53,7 +53,7 @@ main(int argc, char **argv)
     harness::Runner runner(args.config(), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("ablation_cv"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     harness::AsciiTable t({"TB time CV", "ANTT CS", "ANTT Drain",
                            "STP CS", "STP Drain"});

@@ -10,13 +10,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/args.hh"
+#include "harness/interrupt.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "sim/logging.hh"
 #include "trace/parboil.hh"
 
 namespace gpump {
@@ -48,12 +51,28 @@ struct BenchOptions
     /** JSON-lines output path; empty = disabled.  Bare --jsonl picks
      *  results/<bench>.jsonl. */
     std::string jsonl;
+    /** Forked worker processes (--workers=N; default 0 = in-process
+     *  thread pool).  Results are merged in request order, so output
+     *  is byte-identical to --jobs for any worker count; workers add
+     *  crash isolation and requeue/retry (DESIGN.md §10). */
+    int workers = 0;
+    /** On-disk result cache directory (--cache-dir=PATH; empty =
+     *  off).  Completed runs are persisted under their request
+     *  fingerprint, so rerunning an interrupted sweep against the
+     *  same directory resumes instead of recomputing. */
+    std::string cacheDir;
+    /** Per-request watchdog for worker processes, seconds
+     *  (--timeout=S; 0 = off): a wedged worker is killed and its
+     *  request requeued. */
+    double timeoutSec = 0.0;
 
     /**
      * Parse from args: --quick shrinks everything for smoke runs;
      * --sizes/--per-bench/--workloads/--replays/--seed/--csv/--jobs/
-     * --shards/--jsonl[=path] override.  @p bench_name names the
-     * default JSONL file.
+     * --shards/--workers/--cache-dir/--timeout/--jsonl[=path]
+     * override.  --jobs/--shards/--workers share one validator:
+     * anything but a positive integer is fatal.  @p bench_name names
+     * the default JSONL file.
      */
     static BenchOptions fromArgs(const harness::Args &args,
                                  const std::string &bench_name)
@@ -74,17 +93,32 @@ struct BenchOptions
         o.seed = static_cast<std::uint64_t>(
             args.flagInt("seed", static_cast<std::int64_t>(o.seed)));
         o.csv = args.hasFlag("csv");
-        o.jobs = static_cast<int>(args.flagInt("jobs", o.jobs));
-        o.shards = static_cast<int>(args.flagInt("shards", o.shards));
+        o.jobs = static_cast<int>(args.flagPositiveInt("jobs", o.jobs));
+        o.shards =
+            static_cast<int>(args.flagPositiveInt("shards", o.shards));
+        o.workers = static_cast<int>(
+            args.flagPositiveInt("workers", o.workers));
+        o.cacheDir = args.flag("cache-dir", "");
+        o.timeoutSec = args.flagDouble("timeout", o.timeoutSec);
+        if (o.timeoutSec < 0.0)
+            sim::fatal("flag --timeout expects a non-negative number "
+                       "of seconds, got %g",
+                       o.timeoutSec);
         o.jsonl = jsonlPath(args, bench_name);
         return o;
     }
 
     /** Apply the parallelism knobs (--jobs is passed at construction;
-     *  --shards is a setter) to @p runner. */
+     *  --shards is a setter) and the multi-process backend options
+     *  (--workers/--cache-dir/--timeout) to @p runner. */
     void configureRunner(harness::Runner &runner) const
     {
         runner.setRunShards(shards);
+        harness::exec::ExecOptions ex;
+        ex.workers = workers;
+        ex.cacheDir = cacheDir;
+        ex.requestTimeoutSec = timeoutSec;
+        runner.setExec(ex);
     }
 
     static std::string jsonlPath(const harness::Args &args,
@@ -183,6 +217,26 @@ progressMeter(std::string what)
                      what.c_str(), done, total, req.tag.c_str(),
                      evps / 1e6);
     };
+}
+
+/**
+ * Run a batch with graceful interruption: installs the SIGINT/SIGTERM
+ * handlers, and when the sweep is interrupted — dispatch stops,
+ * in-flight runs finish, outputs end on record boundaries — reports
+ * the partial progress on stderr and exits 128+signal, shell style.
+ * Every bench main routes its Runner::run call through here.
+ */
+inline std::vector<harness::RunResult>
+runAll(harness::Runner &runner,
+       const std::vector<harness::RunRequest> &requests)
+{
+    harness::installInterruptHandlers();
+    try {
+        return runner.run(requests);
+    } catch (const harness::InterruptedError &e) {
+        std::fprintf(stderr, "interrupted: %s\n", e.what());
+        std::exit(128 + e.signal());
+    }
 }
 
 /** Print @p t as text or CSV, and to @p jsonl_path when non-empty. */

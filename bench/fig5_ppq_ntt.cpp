@@ -72,7 +72,7 @@ main(int argc, char **argv)
     harness::Runner runner(figureConfig(args), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig5"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     // improvements[group][size][scheme] -> samples
     std::map<int, std::map<int, std::vector<std::vector<double>>>>

@@ -45,7 +45,7 @@ main(int argc, char **argv)
     harness::Runner runner(figureConfig(args), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig6"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     // degradation[size][scheme] -> samples of STP_npq / STP_scheme.
     const std::size_t nschemes = 4;

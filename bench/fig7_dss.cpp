@@ -45,7 +45,7 @@ main(int argc, char **argv)
     harness::Runner runner(figureConfig(args), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig7"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     // ntt_impr[group][size][scheme], fair_impr[size][scheme],
     // stp_degr[size][scheme].

@@ -53,7 +53,7 @@ main(int argc, char **argv)
     harness::Runner runner(figureConfig(args), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig7p"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     const std::vector<std::string> schemes = {"DSS-CS", "DSS-Adaptive",
                                               "DSS-Proactive"};

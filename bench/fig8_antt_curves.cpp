@@ -40,7 +40,7 @@ main(int argc, char **argv)
     harness::Runner runner(figureConfig(args), opt.jobs);
     opt.configureRunner(runner);
     runner.setProgress(progressMeter("fig8"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     std::cout << "Figure 8: ANTT for all simulated workloads (each "
                  "series sorted ascending,\nposition = percentile of "

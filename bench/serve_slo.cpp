@@ -129,7 +129,7 @@ main(int argc, char **argv)
     harness::Batch batch = suite.build();
 
     runner.setProgress(progressMeter("serve_slo"));
-    auto results = runner.run(batch.requests);
+    auto results = bench::runAll(runner, batch.requests);
 
     std::cout << "Cloud serving: latency-class tail latency vs "
                  "offered load\n(latency tenant " << kLatencyBench

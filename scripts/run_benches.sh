@@ -15,6 +15,16 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+WORKERS=${WORKERS:-$JOBS}
+
+# Each bench gets a scratch result cache under one temp root: a bench
+# that dies mid-sweep (OOM kill, Ctrl-C) can be rerun by hand against
+# the same directory to resume.  Strict mode makes unconsumed/stale
+# entries — fingerprints that match no request, i.e. the cache and the
+# sweep disagree — a loud failure instead of silent recomputation.
+CACHE_ROOT=$(mktemp -d "${TMPDIR:-/tmp}/gpump-bench-cache.XXXXXX")
+trap 'rm -rf "$CACHE_ROOT"' EXIT
+export GPUMP_EXEC_CACHE_STRICT=1
 
 mkdir -p "$OUT_DIR"
 status=0
@@ -23,9 +33,11 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
     [ -x "$bin" ] || continue
     ran=$((ran + 1))
     name=$(basename "$bin")
-    # The figure/table benches run their batches on a thread pool;
-    # micro_simcore is Google Benchmark and rejects foreign flags.
-    jobs_flag="--jobs=$JOBS"
+    # The figure/table benches run their batches on the multi-process
+    # executor (forked workers + resumable result cache; output is
+    # byte-identical to --jobs for any worker count); micro_simcore is
+    # Google Benchmark and rejects foreign flags.
+    jobs_flag="--jobs=$JOBS --workers=$WORKERS --cache-dir=$CACHE_ROOT/$name"
     extra_flags=""
     case "$name" in
         *micro*) jobs_flag="" ;;

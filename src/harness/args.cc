@@ -103,6 +103,20 @@ Args::flagInt(const std::string &name, std::int64_t def) const
     return static_cast<std::int64_t>(v);
 }
 
+std::int64_t
+Args::flagPositiveInt(const std::string &name, std::int64_t def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0' || v < 1)
+        sim::fatal("flag --%s expects a positive integer, got '%s'",
+                   name.c_str(), it->second.c_str());
+    return static_cast<std::int64_t>(v);
+}
+
 std::vector<int>
 Args::flagIntList(const std::string &name, std::vector<int> def) const
 {

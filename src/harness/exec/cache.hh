@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Resumable on-disk result cache of the multi-process sweep executor.
+ *
+ * Work units are keyed by a *request fingerprint*: the canonical
+ * rendering of everything that determines a RunResult — the merged
+ * sim::Config fingerprint, the workload plan (or serving scenario)
+ * fingerprint, the scheme and the replay/limit knobs.  A cache entry
+ * is one small file named by the FNV-1a hash of its key, holding the
+ * key itself (hash collisions degrade to misses, never to wrong
+ * results) and the wire-encoded RunResult.
+ *
+ * Crash safety (DESIGN.md §10):
+ *  - store() writes to a temp file in the same directory and
+ *    rename()s it into place, so a sweep killed mid-write can never
+ *    leave a half-written entry under a live name;
+ *  - lookup() re-verifies the stored key and a trailing terminator
+ *    line and re-decodes the result; *any* mismatch — torn write,
+ *    truncation, corruption, stale wire version — deletes the entry
+ *    and reports a miss, so the request is simply recomputed.
+ *
+ * Resume contract: rerunning the same sweep against the same
+ * directory turns every previously completed request into a hit;
+ * entries whose keys no longer match any request of the sweep are
+ * "stale" (the fingerprint changed: different config, code or seed)
+ * and can be enumerated for loud failure in CI (staleEntries()).
+ */
+
+#ifndef GPUMP_HARNESS_EXEC_CACHE_HH
+#define GPUMP_HARNESS_EXEC_CACHE_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace gpump {
+namespace harness {
+namespace exec {
+
+/** The work-unit key of @p request under @p base (the Runner's base
+ *  config): merged-config fingerprint + plan/scenario fingerprint +
+ *  scheme + replays + limit, one line. */
+std::string requestKey(const sim::Config &base,
+                       const RunRequest &request);
+
+/** FNV-1a 64-bit hash, rendered as 16 hex digits (entry filenames). */
+std::string hashKey(const std::string &key);
+
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory; raises
+     *  fatal() when the directory cannot be created. */
+    explicit ResultCache(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Load the entry for @p key into @p out.  Returns false — after
+     * deleting the offending file — when the entry is absent, torn,
+     * corrupt, truncated or keyed by a colliding fingerprint.
+     */
+    bool lookup(const std::string &key, RunResult &out);
+
+    /** Atomically persist @p result under @p key (write-then-rename;
+     *  overwrites any previous entry). */
+    void store(const std::string &key, const RunResult &result);
+
+    /**
+     * Entry files whose stored key is not in @p liveKeys (or cannot
+     * be read at all): leftovers of a sweep with different
+     * fingerprints.  Used by scripts/CI for stale detection.
+     */
+    std::vector<std::string>
+    staleEntries(const std::set<std::string> &liveKeys) const;
+
+    /** @name Telemetry for logs and tests @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t stores() const { return stores_; }
+    /** @} */
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    std::string dir_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace exec
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_EXEC_CACHE_HH

@@ -1,0 +1,611 @@
+#include "harness/exec/wire.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+namespace gpump {
+namespace harness {
+namespace exec {
+
+// ---------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser over a string view of the input. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : s_(text)
+    {
+    }
+
+    JsonValue parse()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos_ != s_.size())
+            sim::fatal("JSON: trailing garbage at offset %zu", pos_);
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void bad(const char *what)
+    {
+        sim::fatal("JSON: %s at offset %zu", what, pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= s_.size())
+            bad("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            bad("unexpected character");
+        ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size())
+                bad("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    bad("unterminated escape");
+                char e = s_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        bad("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            bad("bad \\u escape");
+                    }
+                    // The harness only ever \u-escapes control
+                    // characters; emit the code point as UTF-8 for
+                    // completeness.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default: bad("unknown escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                bad("raw control character in string");
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.text = s_.substr(start, pos_ - start);
+        // Validate the token now so asInt64/asDouble can trust it.
+        char *end = nullptr;
+        std::strtod(v.text.c_str(), &end);
+        if (v.text.empty() || end != v.text.c_str() + v.text.size())
+            bad("malformed number");
+        return v;
+    }
+
+    JsonValue value(int depth)
+    {
+        if (depth > maxDepth)
+            bad("nesting too deep");
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': {
+            ++pos_;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                v.members.emplace_back(std::move(key),
+                                       value(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+          }
+          case '[': {
+            ++pos_;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                v.items.push_back(value(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+          }
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.text = string();
+            return v;
+          case 't':
+            if (!literal("true"))
+                bad("bad literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            if (!literal("false"))
+                bad("bad literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            if (!literal("null"))
+                bad("bad literal");
+            v.type = JsonValue::Type::Null;
+            return v;
+          default:
+            return number();
+        }
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &m : members) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::get(const std::string &key, const char *what) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        sim::fatal("wire: missing field '%s' (%s)", key.c_str(), what);
+    return *v;
+}
+
+std::int64_t
+JsonValue::asInt64(const char *what) const
+{
+    if (type != Type::Number)
+        sim::fatal("wire: field %s is not a number", what);
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        sim::fatal("wire: field %s is not an integer ('%s')", what,
+                   text.c_str());
+    return static_cast<std::int64_t>(v);
+}
+
+double
+JsonValue::asDouble(const char *what) const
+{
+    if (type != Type::Number)
+        sim::fatal("wire: field %s is not a number", what);
+    return std::strtod(text.c_str(), nullptr);
+}
+
+const std::string &
+JsonValue::asString(const char *what) const
+{
+    if (type != Type::String)
+        sim::fatal("wire: field %s is not a string", what);
+    return text;
+}
+
+bool
+JsonValue::asBool(const char *what) const
+{
+    if (type != Type::Bool)
+        sim::fatal("wire: field %s is not a bool", what);
+    return boolean;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+// ---------------------------------------------------------------------
+// Exact doubles
+// ---------------------------------------------------------------------
+
+std::string
+encodeHexDouble(double value)
+{
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+    return sim::strformat("%a", value);
+}
+
+double
+parseHexDouble(const std::string &text, const char *what)
+{
+    // strtod accepts hexfloat, "nan", "inf" and "-inf" — exactly the
+    // encodeHexDouble() vocabulary.
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        sim::fatal("wire: field %s is not a hexfloat ('%s')", what,
+                   text.c_str());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// RunResult codec
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Format bump whenever the encoding changes shape: a cache entry
+ *  from another version must read as a miss, not misdecode. */
+constexpr std::int64_t wireVersion = 1;
+
+std::string
+hexArray(const std::vector<double> &values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out += (i ? "," : "") + jsonQuote(encodeHexDouble(values[i]));
+    out += ']';
+    return out;
+}
+
+std::string
+intArray(const std::vector<std::int64_t> &values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out += (i ? "," : "") + std::to_string(values[i]);
+    out += ']';
+    return out;
+}
+
+std::vector<double>
+decodeHexArray(const JsonValue &v, const char *what)
+{
+    if (v.type != JsonValue::Type::Array)
+        sim::fatal("wire: field %s is not an array", what);
+    std::vector<double> out;
+    out.reserve(v.items.size());
+    for (const JsonValue &e : v.items)
+        out.push_back(parseHexDouble(e.asString(what), what));
+    return out;
+}
+
+std::vector<std::int64_t>
+decodeIntArray(const JsonValue &v, const char *what)
+{
+    if (v.type != JsonValue::Type::Array)
+        sim::fatal("wire: field %s is not an array", what);
+    std::vector<std::int64_t> out;
+    out.reserve(v.items.size());
+    for (const JsonValue &e : v.items)
+        out.push_back(e.asInt64(what));
+    return out;
+}
+
+} // namespace
+
+std::string
+encodeResult(const RunResult &r)
+{
+    std::string out = "{";
+    out += "\"v\":" + std::to_string(wireVersion);
+    out += ",\"index\":" + std::to_string(r.index);
+    out += ",\"tag\":" + jsonQuote(r.tag);
+    out += ",\"policy\":" + jsonQuote(r.scheme.policy);
+    out += ",\"mechanism\":" + jsonQuote(r.scheme.mechanism);
+    out += ",\"transfer\":" + jsonQuote(r.scheme.transferPolicy);
+    out += ",\"ntt\":" + hexArray(r.metrics.ntt);
+    out += ",\"antt\":" + jsonQuote(encodeHexDouble(r.metrics.antt));
+    out += ",\"stp\":" + jsonQuote(encodeHexDouble(r.metrics.stp));
+    out += ",\"fairness\":" +
+        jsonQuote(encodeHexDouble(r.metrics.fairness));
+    out += ",\"isolated_us\":" + hexArray(r.isolatedUs);
+    out += ",\"turnaround_us\":" + hexArray(r.sys.meanTurnaroundUs);
+    out += ",\"latency_us\":" + hexArray(r.sys.meanLatencyUs);
+    out += ",\"dropped\":" + intArray(r.sys.droppedRequests);
+    // Per-process run records as [start, end, release] triples: the
+    // full SystemResult survives the hop, not just its aggregates.
+    out += ",\"runs\":[";
+    for (std::size_t p = 0; p < r.sys.runs.size(); ++p) {
+        out += (p ? ",[" : "[");
+        const auto &recs = r.sys.runs[p];
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            out += (i ? ",[" : "[");
+            out += std::to_string(recs[i].start) + "," +
+                std::to_string(recs[i].end) + "," +
+                std::to_string(recs[i].release) + "]";
+        }
+        out += ']';
+    }
+    out += ']';
+    out += ",\"end_time\":" + std::to_string(r.sys.endTime);
+    out += ",\"events\":" + std::to_string(r.sys.eventsExecuted);
+    out += ",\"kernels\":" + std::to_string(r.sys.kernelsCompleted);
+    out += ",\"preemptions\":" + std::to_string(r.sys.preemptions);
+    out += ",\"ctx_bytes\":" +
+        jsonQuote(encodeHexDouble(r.sys.contextBytesSaved));
+    out += ",\"max_ptbq\":" +
+        jsonQuote(encodeHexDouble(r.sys.maxPtbqDepth));
+    out += ",\"wall_seconds\":" +
+        jsonQuote(encodeHexDouble(r.wallSeconds));
+    out += ",\"serving\":";
+    out += r.servingRun ? "true" : "false";
+    if (r.servingRun) {
+        out += ",\"classes\":[";
+        for (std::size_t i = 0; i < r.serving.classes.size(); ++i) {
+            const serve::ClassMetrics &c = r.serving.classes[i];
+            out += (i ? ",{" : "{");
+            out += "\"name\":" + jsonQuote(c.name);
+            out += ",\"requests\":" + std::to_string(c.requests);
+            out += ",\"completed\":" + std::to_string(c.completed);
+            out += ",\"dropped\":" + std::to_string(c.dropped);
+            out += ",\"misses\":" + std::to_string(c.deadlineMisses);
+            out += ",\"n\":" + std::to_string(c.latency.n);
+            out += ",\"mean\":" +
+                jsonQuote(encodeHexDouble(c.latency.mean));
+            out += ",\"p50\":" +
+                jsonQuote(encodeHexDouble(c.latency.p50));
+            out += ",\"p99\":" +
+                jsonQuote(encodeHexDouble(c.latency.p99));
+            out += ",\"p999\":" +
+                jsonQuote(encodeHexDouble(c.latency.p999));
+            out += ",\"max\":" +
+                jsonQuote(encodeHexDouble(c.latency.max));
+            out += ",\"miss_rate\":" +
+                jsonQuote(encodeHexDouble(c.missRate));
+            out += ",\"tput\":" +
+                jsonQuote(encodeHexDouble(c.throughputPerSec));
+            out += ",\"goodput\":" +
+                jsonQuote(encodeHexDouble(c.goodputPerSec));
+            out += '}';
+        }
+        out += ']';
+        out += ",\"window_fairness\":" +
+            jsonQuote(encodeHexDouble(r.serving.windowFairness));
+        out += ",\"window_us\":" +
+            jsonQuote(encodeHexDouble(r.serving.windowUs));
+    }
+    out += '}';
+    return out;
+}
+
+RunResult
+decodeResult(const std::string &line)
+{
+    return decodeResult(parseJson(line));
+}
+
+RunResult
+decodeResult(const JsonValue &v)
+{
+    if (v.type != JsonValue::Type::Object)
+        sim::fatal("wire: result is not an object");
+    if (v.get("v", "version").asInt64("version") != wireVersion)
+        sim::fatal("wire: result version mismatch");
+
+    RunResult r;
+    r.index = static_cast<std::size_t>(
+        v.get("index", "index").asInt64("index"));
+    r.tag = v.get("tag", "tag").asString("tag");
+    r.scheme.policy = v.get("policy", "policy").asString("policy");
+    r.scheme.mechanism =
+        v.get("mechanism", "mechanism").asString("mechanism");
+    r.scheme.transferPolicy =
+        v.get("transfer", "transfer").asString("transfer");
+    r.metrics.ntt = decodeHexArray(v.get("ntt", "ntt"), "ntt");
+    r.metrics.antt =
+        parseHexDouble(v.get("antt", "antt").asString("antt"), "antt");
+    r.metrics.stp =
+        parseHexDouble(v.get("stp", "stp").asString("stp"), "stp");
+    r.metrics.fairness = parseHexDouble(
+        v.get("fairness", "fairness").asString("fairness"), "fairness");
+    r.isolatedUs =
+        decodeHexArray(v.get("isolated_us", "isolated_us"),
+                       "isolated_us");
+    r.sys.meanTurnaroundUs = decodeHexArray(
+        v.get("turnaround_us", "turnaround_us"), "turnaround_us");
+    r.sys.meanLatencyUs =
+        decodeHexArray(v.get("latency_us", "latency_us"), "latency_us");
+    r.sys.droppedRequests =
+        decodeIntArray(v.get("dropped", "dropped"), "dropped");
+
+    const JsonValue &runs = v.get("runs", "runs");
+    if (runs.type != JsonValue::Type::Array)
+        sim::fatal("wire: field runs is not an array");
+    r.sys.runs.reserve(runs.items.size());
+    for (const JsonValue &proc : runs.items) {
+        if (proc.type != JsonValue::Type::Array)
+            sim::fatal("wire: runs entry is not an array");
+        std::vector<workload::RunRecord> recs;
+        recs.reserve(proc.items.size());
+        for (const JsonValue &rec : proc.items) {
+            if (rec.type != JsonValue::Type::Array ||
+                rec.items.size() != 3)
+                sim::fatal("wire: run record is not a triple");
+            workload::RunRecord rr;
+            rr.start = rec.items[0].asInt64("run.start");
+            rr.end = rec.items[1].asInt64("run.end");
+            rr.release = rec.items[2].asInt64("run.release");
+            recs.push_back(rr);
+        }
+        r.sys.runs.push_back(std::move(recs));
+    }
+
+    r.sys.endTime = v.get("end_time", "end_time").asInt64("end_time");
+    r.sys.eventsExecuted = static_cast<std::uint64_t>(
+        v.get("events", "events").asInt64("events"));
+    r.sys.kernelsCompleted = static_cast<std::uint64_t>(
+        v.get("kernels", "kernels").asInt64("kernels"));
+    r.sys.preemptions = static_cast<std::uint64_t>(
+        v.get("preemptions", "preemptions").asInt64("preemptions"));
+    r.sys.contextBytesSaved = parseHexDouble(
+        v.get("ctx_bytes", "ctx_bytes").asString("ctx_bytes"),
+        "ctx_bytes");
+    r.sys.maxPtbqDepth = parseHexDouble(
+        v.get("max_ptbq", "max_ptbq").asString("max_ptbq"), "max_ptbq");
+    r.wallSeconds = parseHexDouble(
+        v.get("wall_seconds", "wall_seconds").asString("wall_seconds"),
+        "wall_seconds");
+    r.servingRun = v.get("serving", "serving").asBool("serving");
+    if (r.servingRun) {
+        const JsonValue &classes = v.get("classes", "classes");
+        if (classes.type != JsonValue::Type::Array)
+            sim::fatal("wire: field classes is not an array");
+        for (const JsonValue &e : classes.items) {
+            if (e.type != JsonValue::Type::Object)
+                sim::fatal("wire: class entry is not an object");
+            serve::ClassMetrics c;
+            c.name = e.get("name", "class.name").asString("class.name");
+            c.requests = e.get("requests", "class.requests")
+                             .asInt64("class.requests");
+            c.completed = e.get("completed", "class.completed")
+                              .asInt64("class.completed");
+            c.dropped = e.get("dropped", "class.dropped")
+                            .asInt64("class.dropped");
+            c.deadlineMisses =
+                e.get("misses", "class.misses").asInt64("class.misses");
+            c.latency.n = e.get("n", "class.n").asInt64("class.n");
+            auto hex = [&e](const char *key) {
+                return parseHexDouble(e.get(key, key).asString(key),
+                                      key);
+            };
+            c.latency.mean = hex("mean");
+            c.latency.p50 = hex("p50");
+            c.latency.p99 = hex("p99");
+            c.latency.p999 = hex("p999");
+            c.latency.max = hex("max");
+            c.missRate = hex("miss_rate");
+            c.throughputPerSec = hex("tput");
+            c.goodputPerSec = hex("goodput");
+            r.serving.classes.push_back(std::move(c));
+        }
+        r.serving.windowFairness = parseHexDouble(
+            v.get("window_fairness", "window_fairness")
+                .asString("window_fairness"),
+            "window_fairness");
+        r.serving.windowUs = parseHexDouble(
+            v.get("window_us", "window_us").asString("window_us"),
+            "window_us");
+    }
+    return r;
+}
+
+bool
+tryDecodeResult(const std::string &line, RunResult &out)
+{
+    try {
+        out = decodeResult(line);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace exec
+} // namespace harness
+} // namespace gpump

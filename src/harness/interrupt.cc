@@ -1,0 +1,52 @@
+#include "harness/interrupt.hh"
+
+#include <csignal>
+
+namespace gpump {
+namespace harness {
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+interruptHandler(int sig)
+{
+    g_signal = sig;
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa;
+    sa.sa_handler = interruptHandler;
+    sigemptyset(&sa.sa_mask);
+    // One-shot: after the first signal the default disposition is
+    // restored, so a second Ctrl-C kills a wedged sweep outright.
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_signal != 0;
+}
+
+int
+interruptSignal()
+{
+    return static_cast<int>(g_signal);
+}
+
+void
+clearInterruptForTesting()
+{
+    g_signal = 0;
+}
+
+} // namespace harness
+} // namespace gpump

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Graceful SIGINT/SIGTERM handling for batch sweeps.
+ *
+ * A long sweep must be interruptible without corrupting its outputs:
+ * on the first signal the harness stops dispatching new runs, lets
+ * (or makes) in-flight work wind down, flushes only *complete* JSONL
+ * lines and result-cache entries, and exits non-zero.  The handler
+ * just records the signal in a sig_atomic_t flag; harness::Runner's
+ * dispatch loops poll interruptRequested() and raise
+ * InterruptedError once their workers have stopped.  SA_RESETHAND
+ * restores the default disposition, so a second Ctrl-C always kills
+ * the process immediately.
+ *
+ * Handlers are opt-in (benches install them; unit tests and library
+ * users keep default dispositions unless they ask) and the poll is a
+ * relaxed atomic read, so the flag costs nothing when unused.
+ */
+
+#ifndef GPUMP_HARNESS_INTERRUPT_HH
+#define GPUMP_HARNESS_INTERRUPT_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace gpump {
+namespace harness {
+
+/** Raised by Runner::run / exec::runBatch after a SIGINT/SIGTERM
+ *  wind-down.  Callers print the message and exit non-zero
+ *  (conventionally 128 + signal). */
+class InterruptedError : public std::runtime_error
+{
+  public:
+    InterruptedError(std::string msg, int sig)
+        : std::runtime_error(std::move(msg)), signal_(sig)
+    {
+    }
+
+    /** The signal that interrupted the sweep. */
+    int signal() const { return signal_; }
+
+  private:
+    int signal_;
+};
+
+/** Install the flag-recording SIGINT/SIGTERM handlers (idempotent). */
+void installInterruptHandlers();
+
+/** True once a handled signal has arrived. */
+bool interruptRequested();
+
+/** The recorded signal number; 0 when none arrived. */
+int interruptSignal();
+
+/** Reset the flag (tests that raise() signals on purpose). */
+void clearInterruptForTesting();
+
+} // namespace harness
+} // namespace gpump
+
+#endif // GPUMP_HARNESS_INTERRUPT_HH

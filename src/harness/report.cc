@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <ostream>
 
 #include "sim/logging.hh"
 
@@ -227,7 +228,10 @@ JsonlWriter::JsonlWriter(const std::string &path)
 void
 JsonlWriter::write(const JsonObject &object)
 {
-    os_ << object.str() << "\n";
+    // One flush per record: if the process dies between writes —
+    // interrupt, crashed sweep, OOM kill — the file ends on a record
+    // boundary, never on a torn line.
+    os_ << object.str() << "\n" << std::flush;
     if (!os_)
         sim::fatal("write to '%s' failed (disk full?)", path_.c_str());
 }

@@ -8,6 +8,8 @@
 
 #include "core/policy.hh"
 #include "core/preemption.hh"
+#include "harness/exec/coordinator.hh"
+#include "harness/interrupt.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
@@ -232,6 +234,12 @@ Runner::isolatedTimeUs(const std::string &benchmark, int minReplays)
 std::vector<RunResult>
 Runner::run(const std::vector<RunRequest> &requests)
 {
+    // Multi-process backend: --workers and/or --cache-dir hand the
+    // whole batch to the exec coordinator.  Same request-order merge,
+    // so the results are byte-identical to the thread pool below.
+    if (exec_.enabled())
+        return exec::runBatch(*this, requests, exec_);
+
     std::vector<RunResult> results(requests.size());
     if (requests.empty())
         return results;
@@ -247,7 +255,8 @@ Runner::run(const std::vector<RunRequest> &requests)
             // Claim the next unexecuted request; results are stored
             // by request position, never by completion order.  A
             // failure anywhere aborts the rest of the batch.
-            if (failed.load(std::memory_order_relaxed))
+            if (failed.load(std::memory_order_relaxed) ||
+                interruptRequested())
                 return;
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= requests.size())
@@ -286,6 +295,15 @@ Runner::run(const std::vector<RunRequest> &requests)
 
     if (first_error)
         std::rethrow_exception(first_error);
+    if (interruptRequested()) {
+        int sig = interruptSignal();
+        throw InterruptedError(
+            sim::strformat(
+                "batch interrupted by signal %d after %zu/%zu requests",
+                sig, done.load(std::memory_order_relaxed),
+                requests.size()),
+            sig);
+    }
     return results;
 }
 

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/exec/options.hh"
 #include "metrics/metrics.hh"
 #include "serve/slo.hh"
 #include "sim/config.hh"
@@ -225,6 +226,21 @@ class Runner
     int runShards() const { return runShards_; }
 
     void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
+    const ProgressFn &progressFn() const { return progress_; }
+
+    /**
+     * Multi-process backend (harness/exec): when the options are
+     * enabled() — worker processes requested and/or a result cache
+     * directory set — run() delegates the batch to exec::runBatch
+     * instead of the in-thread pool.  Same ordering and bit-identity
+     * contract; adds crash-isolation, requeue/retry and resumability
+     * (DESIGN.md §10).
+     */
+    void setExec(exec::ExecOptions options)
+    {
+        exec_ = std::move(options);
+    }
+    const exec::ExecOptions &execOptions() const { return exec_; }
 
     /**
      * Execute the whole batch and return results in request order.
@@ -235,6 +251,11 @@ class Runner
      * a livelocked schedule) aborts the rest of the batch: no new
      * requests are claimed, and the first exception is rethrown once
      * all workers have stopped.
+     *
+     * Responds to installInterruptHandlers() (harness/interrupt.hh):
+     * after SIGINT/SIGTERM no new requests are claimed, in-flight
+     * runs finish, and the batch raises InterruptedError so front
+     * ends can exit non-zero without tearing output mid-record.
      */
     std::vector<RunResult> run(const std::vector<RunRequest> &requests);
 
@@ -257,6 +278,7 @@ class Runner
     sim::Config base_;
     int jobs_ = 1;
     int runShards_ = 1;
+    exec::ExecOptions exec_;
     ProgressFn progress_;
     IsolatedBaselineCache baselines_;
 };

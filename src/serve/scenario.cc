@@ -31,6 +31,39 @@ ScenarioSpec::validate() const
     }
 }
 
+std::string
+ScenarioSpec::fingerprint() const
+{
+    // Hexfloat ("%a") renders every double exactly, so two scenarios
+    // fingerprint equal iff every parameter is bit-equal.
+    auto hex = [](double v) { return sim::strformat("%a", v); };
+    std::string out = "scenario{name=" + name;
+    out += ";horizon=" + hex(horizonUs);
+    out += ";max_req=" + std::to_string(maxRequestsPerTenant);
+    out += ";window=" + hex(windowUs);
+    out += ";seed=" + std::to_string(seed);
+    for (const TenantSpec &t : tenants) {
+        out += ";tenant{" + t.name + "|" + t.benchmark + "|" +
+            t.className + "|" + std::to_string(t.priority) + "|" +
+            hex(t.deadlineUs) + "|" + std::to_string(t.maxBacklog);
+        const ArrivalSpec &a = t.arrivals;
+        out += "|arr=" +
+            std::to_string(static_cast<int>(a.kind)) + "," +
+            hex(a.ratePerSec) + "," + hex(a.burstMeanUs) + "," +
+            hex(a.idleMeanUs);
+        if (!a.traceUs.empty()) {
+            out += ",trace:";
+            for (std::size_t i = 0; i < a.traceUs.size(); ++i)
+                out += (i ? " " : "") + hex(a.traceUs[i]);
+        } else if (!a.traceFile.empty()) {
+            out += ",file:" + a.traceFile;
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
 std::vector<std::vector<sim::SimTime>>
 makeTimelines(const ScenarioSpec &spec)
 {

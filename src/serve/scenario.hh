@@ -71,6 +71,15 @@ struct ScenarioSpec
 
     /** Raises fatal() on an empty or inconsistent scenario. */
     void validate() const;
+
+    /** Canonical one-line rendering of the full scenario identity
+     *  (tenants, arrival processes, horizon, seed; no newlines).
+     *  Equal scenarios have equal fingerprints — the serving arm of
+     *  the multi-process executor's work-unit key (harness/exec).
+     *  Trace-file arrivals key on the file *path*, not its contents;
+     *  callers who rewrite trace files between sweeps must use a
+     *  fresh cache directory. */
+    std::string fingerprint() const;
 };
 
 /**

@@ -33,6 +33,17 @@ shuffle(std::vector<std::string> &v, sim::Rng &rng)
 
 } // namespace
 
+std::string
+WorkloadPlan::fingerprint() const
+{
+    std::string out = "plan{benchmarks=";
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        out += (i ? "," : "") + benchmarks[i];
+    out += ";hi=" + std::to_string(highPriorityIndex);
+    out += ";seed=" + std::to_string(seed) + "}";
+    return out;
+}
+
 std::vector<int>
 WorkloadPlan::priorities() const
 {

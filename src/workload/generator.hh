@@ -34,6 +34,12 @@ struct WorkloadPlan
     /** Priorities vector for SystemSpec: 1 for the high-priority
      *  process, 0 for the rest (empty when no prioritization). */
     std::vector<int> priorities() const;
+
+    /** Canonical one-line rendering of the full plan identity (no
+     *  newlines).  Equal plans have equal fingerprints; combined with
+     *  the config fingerprint it keys work units of the multi-process
+     *  executor's result cache (harness/exec). */
+    std::string fingerprint() const;
 };
 
 /**
