@@ -9,8 +9,11 @@
 #include <benchmark/benchmark.h>
 
 #include "gpu/gpu_config.hh"
+#include "gpu/kernel_exec.hh"
+#include "gpu/sm.hh"
 #include "harness/suite.hh"
 #include "metrics/metrics.hh"
+#include "predict/predictor.hh"
 #include "sim/event.hh"
 #include "sim/random.hh"
 #include "trace/parboil.hh"
@@ -102,6 +105,35 @@ BM_MetricsCompute(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MetricsCompute);
+
+void
+BM_PredictorUpdate(benchmark::State &state)
+{
+    // The predict/ observation hook rides the TB-completion fast path
+    // (the hottest event in the simulator); this pins the cost of one
+    // model update plus the drain-estimate query pred_adaptive makes
+    // per decision.
+    const trace::KernelProfile *prof =
+        trace::allKernelProfiles().front();
+    gpu::GpuParams params;
+    gpu::CommandPtr cmd = gpu::Command::makeKernel(0, 0, prof);
+    gpu::KernelExec k(0, cmd, params, 64);
+    gpu::Sm sm(0, 32);
+    sm.kernel = &k;
+    sm.insertResident({0, 0, sim::microseconds(prof->timePerTbUs), 0});
+    predict::RuntimePredictor pred(0.25);
+    const sim::SimTime tb = sim::microseconds(prof->timePerTbUs);
+    sim::SimTime now = 0;
+    double sink = 0;
+    for (auto _ : state) {
+        now += tb;
+        pred.observeTb(sm, k, now - tb, now);
+        sink += pred.estimatedDrainTimeUs(sm, now);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorUpdate);
 
 void
 BM_IsolatedRun(benchmark::State &state)

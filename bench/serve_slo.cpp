@@ -125,7 +125,12 @@ main(int argc, char **argv)
         .scheme("FCFS", {"fcfs", "context_switch", "fcfs"})
         .scheme("PPQ-Aging/CS",
                 {"ppq_aging", "context_switch", "priority"})
-        .scheme("DSS-CS", {"dss", "context_switch", "fcfs"});
+        .scheme("DSS-CS", {"dss", "context_switch", "fcfs"})
+        // Burst-demoted PPQ: the batch tenants' long kernels sink
+        // below the latency class by measurement, not by the static
+        // launch priority alone.
+        .scheme("BORE-Burst/CS",
+                {"bore_burst", "context_switch", "priority"});
     harness::Batch batch = suite.build();
 
     runner.setProgress(progressMeter("serve_slo"));

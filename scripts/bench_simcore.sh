@@ -22,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${1:-BENCH_simcore.json}
-FILTER=${FILTER:-'BM_EventQueueScheduleRun|BM_EventQueueCancelHalf|BM_IsolatedRun|BM_MultiprogrammedDssRun|BM_ProcessReplay|BM_WorkloadIssueLoop'}
+FILTER=${FILTER:-'BM_EventQueueScheduleRun|BM_EventQueueCancelHalf|BM_IsolatedRun|BM_MultiprogrammedDssRun|BM_ProcessReplay|BM_WorkloadIssueLoop|BM_PredictorUpdate'}
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
@@ -38,7 +38,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro_simcore \
 # missing BM_ProcessReplay (renamed, gated out, filtered away) would
 # leave the committed baseline stale without anyone noticing.
 for bench in BM_ProcessReplay BM_WorkloadIssueLoop \
-    BM_MultiprogrammedDssRun BM_ContendedSwitch; do
+    BM_MultiprogrammedDssRun BM_ContendedSwitch \
+    BM_PredictorUpdate; do
     "$BUILD_DIR/bench/bench_micro_simcore" --benchmark_list_tests \
         | grep -qx "$bench" || {
         echo "error: $bench missing from the gbench listing" >&2

@@ -1,10 +1,31 @@
 #include "core/adaptive.hh"
 
 #include "core/framework.hh"
+#include "gpu/transfer_engine.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
 namespace core {
+
+sim::SimTime
+modeledContextSaveCost(SchedulingFramework &fw, const gpu::Sm *sm)
+{
+    GPUMP_ASSERT(sm->kernel != nullptr, "save estimate on idle SM");
+    std::int64_t bytes = sm->kernel->contextBytesPerTb() *
+        static_cast<std::int64_t>(sm->resident.size());
+    if (fw.contendedSwitch() && fw.transferEngine() != nullptr) {
+        // The save is a D2H command on the transfer engine: it queues
+        // behind every transfer already submitted, so the backlog is
+        // part of the cost.  Ignoring it understated the save exactly
+        // when the engine was busy — the case the contended model
+        // exists for.
+        const gpu::TransferEngine &xfer = *fw.transferEngine();
+        return fw.params().pipelineDrainLatency + xfer.modeledBacklog() +
+            xfer.bus().transferDuration(bytes);
+    }
+    return fw.params().pipelineDrainLatency +
+        fw.gmem().moveTime(bytes, fw.params().numSms);
+}
 
 AdaptiveMechanism::AdaptiveMechanism(double bias)
     : bias_(bias)
@@ -33,11 +54,7 @@ AdaptiveMechanism::estimatedDrainTime(const gpu::Sm *sm) const
 sim::SimTime
 AdaptiveMechanism::modeledSaveCost(const gpu::Sm *sm) const
 {
-    GPUMP_ASSERT(sm->kernel != nullptr, "save estimate on idle SM");
-    std::int64_t bytes = sm->kernel->contextBytesPerTb() *
-        static_cast<std::int64_t>(sm->resident.size());
-    return fw_->params().pipelineDrainLatency +
-        fw_->gmem().moveTime(bytes, fw_->params().numSms);
+    return modeledContextSaveCost(*fw_, sm);
 }
 
 void

@@ -30,6 +30,19 @@
 namespace gpump {
 namespace core {
 
+/**
+ * Modeled cost of saving @p sm's resident contexts, shared by every
+ * drain-vs-switch mechanism (adaptive, pred_adaptive): pipeline drain
+ * plus the context-transfer time.  Under the default (uncontended)
+ * switch model the transfer is the context bytes at a 1/NSMs global
+ * memory bandwidth share.  Under gmem.contended_switch the save is a
+ * D2H command on the transfer engine, so the model also charges the
+ * engine's current backlog — queued and in-flight transfers the save
+ * would wait behind — before the context bytes go on the wire.
+ */
+sim::SimTime modeledContextSaveCost(SchedulingFramework &fw,
+                                    const gpu::Sm *sm);
+
 /** Per-SM drain-vs-switch selection. */
 class AdaptiveMechanism : public PreemptionMechanism
 {
@@ -58,9 +71,9 @@ class AdaptiveMechanism : public PreemptionMechanism
      *  completion among its resident blocks, relative to now. */
     sim::SimTime estimatedDrainTime(const gpu::Sm *sm) const;
 
-    /** Modeled cost of saving @p sm's resident contexts: pipeline
-     *  drain plus the context bytes at a 1/NSMs bandwidth share
-     *  (the same model the context-switch mechanism executes). */
+    /** Modeled cost of saving @p sm's resident contexts; delegates to
+     *  modeledContextSaveCost() (queue-aware under
+     *  gmem.contended_switch). */
     sim::SimTime modeledSaveCost(const gpu::Sm *sm) const;
 
   private:

@@ -325,6 +325,7 @@ SchedulingFramework::placeResident(gpu::Sm *sm, gpu::KernelExec *k,
     k->tbStarted();
     if (!k->startedIssuing) {
         k->startedIssuing = true;
+        k->firstIssuedAt = sim_->now();
         if (observer_)
             observer_->kernelStarted(*k);
     }
@@ -466,9 +467,14 @@ SchedulingFramework::onTbCompleted(gpu::Sm *sm)
 
     // The armed event always tracks the timeline head: completion is
     // a pop, not a search.
+    const sim::SimTime tb_started = sm->resident.front().startedAt;
     sm->resident.erase(sm->resident.begin());
     k->tbEnded(true);
     ++tbsCompleted_;
+    // Measurement hook: observers see the post-pop SM (resident empty
+    // when this was a drain's last block) before any re-issue.
+    for (predict::CompletionObserver *o : completionObservers_)
+        o->observeTb(*sm, *k, tb_started, sim_->now());
 
     bool kernel_done = k->finished();
 
@@ -657,6 +663,10 @@ SchedulingFramework::finalizeKernel(gpu::KernelExec *k)
     ++kernelsCompleted_;
     if (observer_)
         observer_->kernelFinished(*owned);
+    // Measurement hook before the policy callback, so an observing
+    // policy decides with this kernel's burst already folded in.
+    for (predict::CompletionObserver *o : completionObservers_)
+        o->observeKernel(*owned, owned->firstIssuedAt, sim_->now());
     policy_->onKernelFinished(owned.get());
     if (residency_ != nullptr)
         residency_->onPinsReleased();

@@ -29,6 +29,7 @@
 #include "gpu/kernel_exec.hh"
 #include "gpu/sm.hh"
 #include "memory/gpu_memory.hh"
+#include "predict/observe.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 
@@ -82,6 +83,21 @@ class SchedulingFramework : public gpu::KernelSink
     /** Install an observer (nullptr to remove).  Not owned. */
     void setObserver(EngineObserver *observer) { observer_ = observer; }
 
+    /**
+     * Register a measurement-side completion observer (assembly; not
+     * owned — typically a mechanism or policy registering itself or a
+     * predictor from its bind()).  Observers are notified on every TB
+     * and kernel completion, in registration order; the completion
+     * path skips the dispatch entirely while the list is empty, so
+     * default-off runs are untouched (see predict/observe.hh for the
+     * observer contract).
+     */
+    void addCompletionObserver(predict::CompletionObserver *observer)
+    {
+        GPUMP_ASSERT(observer != nullptr, "null completion observer");
+        completionObservers_.push_back(observer);
+    }
+
     /** Wire the transfer engine carrying contended context save /
      *  restore traffic and residency swaps (assembly; optional —
      *  without it gmem.contended_switch must stay off and no
@@ -104,6 +120,12 @@ class SchedulingFramework : public gpu::KernelSink
     /** True when context save/restore bytes ride the transfer engine
      *  (gmem.contended_switch) instead of the bandwidth-share model. */
     bool contendedSwitch() const { return contendedSwitch_; }
+
+    /** The transfer engine carrying contended context traffic, or
+     *  nullptr when none is wired.  Mechanisms use it to model the
+     *  queueing their own save would suffer (their DMA engine's state
+     *  is driver-visible, not workload oracle). */
+    gpu::TransferEngine *transferEngine() const { return xfer_; }
 
     /** @name Command buffers (dispatcher-facing)
      * @{ */
@@ -311,6 +333,9 @@ class SchedulingFramework : public gpu::KernelSink
     std::unique_ptr<SchedulingPolicy> policy_;
     std::unique_ptr<PreemptionMechanism> mechanism_;
     EngineObserver *observer_ = nullptr;
+    /** Measurement-side completion observers (predict/), empty in
+     *  every default-off assembly.  Not owned. */
+    std::vector<predict::CompletionObserver *> completionObservers_;
 
     /** Issue preempted TBs before fresh ones (Section 3.3 keeps the
      *  PTBQ bounded this way).  Config "engine.preempted_first";

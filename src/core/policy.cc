@@ -22,6 +22,7 @@ linkBuiltinPolicies()
     GPUMP_FORCE_LINK(DssPolicy);
     GPUMP_FORCE_LINK(TimeMuxPolicy);
     GPUMP_FORCE_LINK(PpqAgingPolicy);
+    GPUMP_FORCE_LINK(BoreBurstPolicy);
 }
 
 std::unique_ptr<SchedulingPolicy>

@@ -19,6 +19,7 @@ linkBuiltinMechanisms()
     GPUMP_FORCE_LINK(DrainingMechanism);
     GPUMP_FORCE_LINK(AdaptiveMechanism);
     GPUMP_FORCE_LINK(ProactiveMemMechanism);
+    GPUMP_FORCE_LINK(PredAdaptiveMechanism);
 }
 
 std::unique_ptr<PreemptionMechanism>

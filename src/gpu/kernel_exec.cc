@@ -37,6 +37,7 @@ KernelExec::assign(sim::KsrIndex ksr, CommandPtr cmd,
     smsHeld = 0;
     smsReserved = 0;
     startedIssuing = false;
+    firstIssuedAt = 0;
     GPUMP_ASSERT(totalTbs_ > 0, "kernel %s with empty grid",
                  cmd_->profile->fullName().c_str());
 }

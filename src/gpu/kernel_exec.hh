@@ -151,6 +151,10 @@ class KernelExec
     int smsHeld = 0;     ///< SMs currently set up for this kernel
     int smsReserved = 0; ///< SMs being preempted on this kernel's behalf
     bool startedIssuing = false; ///< first TB has been issued
+    /** When the first TB was issued (meaningful once startedIssuing).
+     *  Driver-observable service-time anchor for the measurement-fed
+     *  schedulers (predict/observe.hh). */
+    sim::SimTime firstIssuedAt = 0;
     /** @} */
 
   private:

@@ -34,6 +34,17 @@ TransferEngine::setCompletionNotifier(std::function<void(CommandQueue *)> fn)
     notifier_ = std::move(fn);
 }
 
+sim::SimTime
+TransferEngine::modeledBacklog() const
+{
+    sim::SimTime t = 0;
+    if (current_ != nullptr)
+        t += bus_->transferDuration(current_->bytes);
+    for (const CommandPtr &cmd : queue_)
+        t += bus_->transferDuration(cmd->bytes);
+    return t;
+}
+
 void
 TransferEngine::submit(const CommandPtr &cmd)
 {

@@ -56,6 +56,21 @@ class TransferEngine
     std::size_t queued() const { return queue_.size(); }
     Policy policy() const { return policy_; }
 
+    /** The bus this engine drives (duration queries for cost models). */
+    const memory::PcieBus &bus() const { return *bus_; }
+
+    /**
+     * Modeled time until everything currently ahead of a new FCFS
+     * submission has drained: the full duration of the in-flight
+     * transfer (the engine does not expose partial progress) plus the
+     * durations of every queued command.  Under the priority policy a
+     * high-priority submission may overtake parts of the queue, so
+     * this is an upper bound there.  Used by the drain-vs-switch cost
+     * models when context saves ride this engine
+     * (gmem.contended_switch).
+     */
+    sim::SimTime modeledBacklog() const;
+
   private:
     void startNext();
     /** Completion event fired for the in-flight transfer.  The event

@@ -76,7 +76,20 @@ System::System(const SystemSpec &spec, const sim::Config &overrides)
     framework_ = std::make_unique<core::SchedulingFramework>(
         *sim_, gpuParams_, *gmem_, *dispatcher_);
     framework_->setTransferEngine(transferEngine_.get());
-    framework_->setMechanism(core::makeMechanism(spec_.mechanism, cfg));
+
+    // Mechanisms get the same assembly-defaults hook as policies (the
+    // block below): a chance to fill contextual tunable defaults from
+    // the machine and workload sizes before the factory validates the
+    // config.  No built-in mechanism declares one today.
+    const core::MechanismRegistry::Descriptor &mech_desc =
+        core::mechanismRegistry().at(spec_.mechanism);
+    sim::Config mech_cfg = cfg;
+    if (mech_desc.assemblyDefaults) {
+        mech_desc.assemblyDefaults(mech_cfg, gpuParams_.numSms,
+                                   static_cast<int>(apps.size()));
+    }
+    framework_->setMechanism(core::makeMechanism(spec_.mechanism,
+                                                 mech_cfg));
 
     // Device-memory residency: swap transfers ride the same transfer
     // engine as workload copies; the engine-side questions (pinning,

@@ -274,6 +274,47 @@ TEST(Adaptive, BiasSkewsTheDecision)
     EXPECT_EQ(switchesInf, 0u);
 }
 
+TEST(Adaptive, ContendedSaveEstimateCountsTransferBacklog)
+{
+    // Under gmem.contended_switch the real save rides the transfer
+    // engine behind whatever is already queued, so the drain-vs-switch
+    // comparison must price that backlog in.  Same workload twice:
+    // long TBs (drain estimate ~900 us) that adaptive would normally
+    // context-switch away (save ~ one small transfer), except that a
+    // 32 MiB application copy occupies the engine, pushing the true
+    // save cost past the drain estimate.  A backlog-blind estimate
+    // (the pre-queue-aware model) picks the switch and then stalls
+    // behind the copy anyway.
+    auto run_with = [](std::int64_t copy_bytes) {
+        sim::Config cfg;
+        cfg.set("gmem.contended_switch", true);
+        DeviceRig rig("ppq_excl", "context_switch", cfg);
+        core::AdaptiveMechanism *mech = installAdaptive(rig, 1.0);
+        auto lo = test::makeProfile("lo", 2000, 1000.0, 4096, 0, 512);
+        auto hi = test::makeProfile("hi", 13, 1.0, 4096, 0, 2048);
+        rig.launch(rig.queueFor(0), &lo, 0);
+        rig.run(sim::microseconds(100.0));
+        if (copy_bytes > 0) {
+            auto copy = gpu::Command::makeMemcpy(
+                2, 0, gpu::Command::Kind::MemcpyH2D, copy_bytes);
+            rig.dispatcher.enqueue(rig.queueFor(2), copy);
+        }
+        rig.launch(rig.queueFor(1), &hi, 9);
+        rig.run(sim::milliseconds(50.0));
+        return std::make_pair(mech->drainsChosen(),
+                              mech->switchesChosen());
+    };
+
+    auto [drains_idle, switches_idle] = run_with(0);
+    EXPECT_EQ(drains_idle, 0u) << "idle engine: the switch stays cheap";
+    EXPECT_GT(switches_idle, 0u);
+
+    auto [drains_busy, switches_busy] = run_with(32ll << 20);
+    EXPECT_GT(drains_busy, 0u)
+        << "a queued 32 MiB copy must make draining the cheaper choice";
+    EXPECT_EQ(switches_busy, 0u);
+}
+
 TEST(Adaptive, EndToEndThroughSystemSpec)
 {
     // The mechanism resolves by name through the full workload stack

@@ -435,3 +435,36 @@ TEST(Runner, GoldenFig7QuickAggregatePinned)
     constexpr double kGolden = 1.0022550475518892;
     EXPECT_NEAR(avg, kGolden, 1e-9) << "pinned fig7 aggregate moved";
 }
+
+TEST(Runner, GoldenFig6QuickAggregatePinned)
+{
+    // Third pinned figure aggregate: the 2-process cell of
+    // `fig6_ppq_stp --quick`, mean STP degradation of exclusive-mode
+    // PPQ/context-switch over NPQ across the ten prioritized plans.
+    // Together with the fig5 (NTT) and fig7 (ANTT) goldens this pins
+    // each of the paper's headline aggregates exactly.
+    sim::Config cfg;
+    cfg.set("gpu.tb_time_cv", 0.25); // figureConfig default
+
+    Suite suite("fig6");
+    suite.sizes({2})
+        .prioritized(/*per_bench=*/1, /*base_seed=*/20140614)
+        .minReplays(2) // --quick
+        .scheme("NPQ", {"npq", "context_switch", "priority"})
+        .scheme("excl/CS", {"ppq_excl", "context_switch", "priority"});
+    Batch batch = suite.build();
+
+    Runner runner(cfg, /*jobs=*/2);
+    auto results = runner.run(batch.requests);
+
+    double sum = 0;
+    for (std::size_t pi = 0; pi < batch.numPlans(0); ++pi) {
+        double npq = results[batch.indexOf(0, pi, 0)].metrics.stp;
+        double ppq = results[batch.indexOf(0, pi, 1)].metrics.stp;
+        sum += npq / ppq;
+    }
+    double avg = sum / static_cast<double>(batch.numPlans(0));
+
+    constexpr double kGolden = 1.0498411090168349;
+    EXPECT_NEAR(avg, kGolden, 1e-9) << "pinned fig6 aggregate moved";
+}
