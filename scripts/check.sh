@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything, run the labelled suite.
 # Used locally and by .github/workflows/ci.yml — keep them in sync.
+#
+# Modes (mutually exclusive, must be the first argument):
+#   (none)   build + ctest; extra arguments are forwarded to ctest
+#   --lint   run the determinism lint over src/ (scripts/lint_determinism.py)
+#   --tidy   run the clang-tidy gate (scripts/tidy.sh)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+--lint)
+    exec python3 scripts/lint_determinism.py
+    ;;
+--tidy)
+    exec scripts/tidy.sh
+    ;;
+esac
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}

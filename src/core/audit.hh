@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Compile-time-gated invariant-audit layer (DESIGN.md §12).
+ *
+ * GPUMP_AUDIT(cond, fmt, ...) states a deep internal invariant at a
+ * hot seam — the checks that are too expensive, too paranoid or too
+ * far inside a data structure for an always-on GPUMP_ASSERT.  In a
+ * default build the macro compiles to nothing (the condition sits in
+ * an unevaluated sizeof, so audit-only expressions still parse and
+ * their operands count as used, but no code is generated).  Configure
+ * with -DGPUMP_AUDIT_BUILD=ON and every audit is checked; a failure
+ * prints the condition, location and message to stderr and calls
+ * abort() — NOT panic()/fatal(), deliberately:
+ *
+ *  - an audit failure means simulator state is already corrupt, so
+ *    unwinding through it (what an exception does) can only make the
+ *    report worse;
+ *  - abort() is what gtest's EXPECT_DEATH harness expects, so the
+ *    audit layer is itself testable (tests/test_audit.cpp).
+ *
+ * Layering: this header is dependency-free (cstdio/cstdlib only) by
+ * design, so EVERY layer — sim/, memory/, gpu/, core/, predict/,
+ * harness/ — may include it without creating a link-order or layering
+ * violation (memory/ must not depend on core/ code; a macro header
+ * with no runtime library is not a dependency in that sense).
+ *
+ * Audit-only state or O(n) verification loops that should not even be
+ * *compiled* into default builds go under `#if GPUMP_AUDIT_ENABLED`.
+ *
+ * The invariant catalog lives in DESIGN.md §12; keep it in sync when
+ * adding audits.
+ */
+
+#ifndef GPUMP_CORE_AUDIT_HH
+#define GPUMP_CORE_AUDIT_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(GPUMP_AUDIT_BUILD) && GPUMP_AUDIT_BUILD
+#define GPUMP_AUDIT_ENABLED 1
+#else
+#define GPUMP_AUDIT_ENABLED 0
+#endif
+
+namespace gpump {
+namespace core {
+
+#if GPUMP_AUDIT_ENABLED
+
+/** Report a failed audit and abort.  Out-of-line-ish (static inline
+ *  in a header to stay dependency-free); the cold path's size does
+ *  not matter. */
+[[noreturn]] __attribute__((format(printf, 4, 5))) inline void
+auditFail(const char *file, int line, const char *cond, const char *fmt,
+          ...)
+{
+    std::fprintf(stderr, "GPUMP_AUDIT failed at %s:%d\n  invariant: %s\n  ",
+                 file, line, cond);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+#endif // GPUMP_AUDIT_ENABLED
+
+} // namespace core
+} // namespace gpump
+
+#if GPUMP_AUDIT_ENABLED
+
+/** Check a deep invariant in audit builds; no-op otherwise.  The
+ *  message should say what the corrupted state means, not restate the
+ *  condition. */
+#define GPUMP_AUDIT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::gpump::core::auditFail(__FILE__, __LINE__, #cond,             \
+                                     __VA_ARGS__);                          \
+    } while (0)
+
+#else
+
+// The condition is parsed (so audit expressions cannot rot and their
+// operands count as used) but never evaluated, and no code is
+// generated.  The message arguments are discarded entirely; keep
+// audit-only message operands out of default builds via
+// GPUMP_AUDIT_ENABLED.
+#define GPUMP_AUDIT(cond, ...)                                              \
+    do {                                                                    \
+        (void)sizeof((cond));                                               \
+    } while (0)
+
+#endif // GPUMP_AUDIT_ENABLED
+
+#endif // GPUMP_CORE_AUDIT_HH

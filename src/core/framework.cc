@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/audit.hh"
 #include "core/policy.hh"
 #include "gpu/transfer_engine.hh"
 #include "memory/residency.hh"
@@ -706,6 +707,15 @@ SchedulingFramework::stageRestore(gpu::KernelExec *k, int max_tbs)
         return 0;
     int uncovered = static_cast<int>(k->ptbqDepth()) -
         k->restoreCredit() - k->restoreInFlight();
+    // Negative uncovered would mean more covered entries than the
+    // queue holds: credit/in-flight leaked past the take clamp.  It
+    // is tolerated here only as "nothing to stage", so audit it
+    // instead of letting min() hide the corruption.
+    GPUMP_AUDIT(uncovered >= -k->restoreInFlight(),
+                "restore coverage beyond PTBQ + in-flight for %s "
+                "(depth=%zu credit=%d inflight=%d)",
+                k->profile().fullName().c_str(), k->ptbqDepth(),
+                k->restoreCredit(), k->restoreInFlight());
     int n = std::min(max_tbs, uncovered);
     if (n <= 0)
         return 0;

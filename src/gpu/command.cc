@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "core/audit.hh"
 #include "gpu/gpu_context.hh"
 #include "sim/logging.hh"
 
@@ -20,6 +21,11 @@ Command::complete()
 void
 Command::dispose(Command *c) noexcept
 {
+    // A disposed command must really be unreferenced: a nonzero count
+    // here means a CommandPtr still points at the block about to be
+    // recycled, and the next acquire() would alias it.
+    GPUMP_AUDIT(c->refs_ == 0,
+                "command disposed with %u live references", c->refs_);
     // Both allocation paths (pool blocks and the plain-new heap
     // factories) are raw ::operator new storage, so explicit
     // destruction + operator delete / recycle covers both.
@@ -110,6 +116,12 @@ CommandPool::acquire()
     }
     Command *cmd = new (block) Command;
     cmd->pool_ = this;
+    // Free-list discipline: the pool can never have handed out more
+    // blocks than it ever allocated, or recycle() double-stacked one.
+    GPUMP_AUDIT(free_.size() <= allocated_,
+                "command pool free list (%zu) outgrew its %zu "
+                "allocations (double recycle)",
+                free_.size(), allocated_);
     return cmd;
 }
 

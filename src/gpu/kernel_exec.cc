@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hh"
 #include "sim/logging.hh"
 
 namespace gpump {
@@ -60,6 +61,14 @@ KernelExec::takePreemptedTb()
     // outlives the entries it was fetched for.
     if (restoreCredit_ > static_cast<int>(ptbq_.size()))
         restoreCredit_ = static_cast<int>(ptbq_.size());
+    // Prefetched credit must never outlive the queue entries it was
+    // fetched for — otherwise an SM issues a "restored" TB that has no
+    // context behind it.
+    GPUMP_AUDIT(restoreCredit_ >= 0 && restoreInFlight_ >= 0 &&
+                    restoreCredit_ <= static_cast<int>(ptbq_.size()),
+                "restore-credit accounting corrupt after take "
+                "(credit=%d inflight=%d ptbq=%zu)",
+                restoreCredit_, restoreInFlight_, ptbq_.size());
     return tb;
 }
 
@@ -92,6 +101,15 @@ KernelExec::restoreArrived(int n)
     restoreInFlight_ -= n;
     restoreCredit_ = std::min(restoreCredit_ + n,
                               static_cast<int>(ptbq_.size()));
+    // The sum credit + inflight can transiently exceed the queue when
+    // inline takes raced a staged fetch (the arrival clamp here is the
+    // cleanup), but credit itself must never outgrow the entries it
+    // covers.
+    GPUMP_AUDIT(restoreCredit_ <= static_cast<int>(ptbq_.size()) &&
+                    restoreInFlight_ >= 0,
+                "restore-credit clamp failed on arrival "
+                "(credit=%d inflight=%d ptbq=%zu)",
+                restoreCredit_, restoreInFlight_, ptbq_.size());
 }
 
 bool

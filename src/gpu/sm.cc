@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hh"
 #include "gpu/kernel_exec.hh"
 #include "sim/logging.hh"
 
@@ -41,7 +42,20 @@ Sm::insertResident(const ResidentTb &tb)
                 return a.endAt < b.endAt;
             return a.seq < b.seq;
         });
-    resident.insert(pos, tb);
+    auto ins = resident.insert(pos, tb);
+    // The drain/preempt paths walk `resident` front-to-back assuming
+    // (endAt, seq) order; an out-of-order insert silently reorders
+    // preemption victims.
+    GPUMP_AUDIT((ins == resident.begin() ||
+                 (ins - 1)->endAt < tb.endAt ||
+                 ((ins - 1)->endAt == tb.endAt && (ins - 1)->seq < tb.seq)) &&
+                    (ins + 1 == resident.end() ||
+                     tb.endAt < (ins + 1)->endAt ||
+                     (tb.endAt == (ins + 1)->endAt && tb.seq < (ins + 1)->seq)),
+                "SM %d resident timeline out of (endAt,seq) order "
+                "(endAt=%lld seq=%llu)",
+                id_, static_cast<long long>(tb.endAt),
+                static_cast<unsigned long long>(tb.seq));
 }
 
 void

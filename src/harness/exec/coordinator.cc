@@ -29,12 +29,16 @@ namespace exec {
 void
 ExecOptions::applyTestEnv()
 {
+    // getenv runs once, on the main thread, before any worker exists;
+    // nothing writes the environment concurrently.
+    // NOLINTBEGIN(concurrency-mt-unsafe)
     if (const char *v = std::getenv("GPUMP_EXEC_TEST_KILL_AFTER"))
         testKillAfterResults = std::atoi(v);
     if (const char *v = std::getenv("GPUMP_EXEC_TEST_ABORT_AFTER"))
         testAbortAfterResults = std::atoi(v);
     if (const char *v = std::getenv("GPUMP_EXEC_CACHE_STRICT"))
         strictCache = v[0] != '\0' && v[0] != '0';
+    // NOLINTEND(concurrency-mt-unsafe)
 }
 
 namespace {
@@ -253,15 +257,19 @@ Coordinator::spawn(std::size_t si, bool respawn)
 {
     Slot &s = slots_[si];
     int cmd[2], res[2];
+    // The coordinator is single-threaded; strerror's static buffer is
+    // safe here (and the process dies on this path anyway).
     if (::pipe(cmd) != 0 || ::pipe(res) != 0)
-        sim::fatal("exec: pipe() failed: %s", std::strerror(errno));
+        sim::fatal("exec: pipe() failed: %s",
+                   std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
     // Buffered stdio written twice after fork() would corrupt the
     // bench's (deterministic) stdout.
     std::fflush(stdout);
     std::fflush(stderr);
     pid_t pid = ::fork();
     if (pid < 0)
-        sim::fatal("exec: fork() failed: %s", std::strerror(errno));
+        sim::fatal("exec: fork() failed: %s",
+                   std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
     if (pid == 0) {
         // Child: drop every coordinator-side fd — holding a sibling's
         // pipe end open would mask that sibling's EOF from the
@@ -639,7 +647,8 @@ Coordinator::run(ExecStats *stats)
         int rc = ::poll(fds.empty() ? nullptr : fds.data(),
                         static_cast<nfds_t>(fds.size()), timeoutMs);
         if (rc < 0 && errno != EINTR)
-            sim::fatal("exec: poll() failed: %s", std::strerror(errno));
+            sim::fatal("exec: poll() failed: %s",
+                       std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
 
         for (std::size_t f = 0; f < fds.size(); ++f) {
             if (fds[f].revents == 0)

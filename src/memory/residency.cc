@@ -80,7 +80,45 @@ ResidencyManager::registerContext(sim::ContextId ctx, int priority,
         c.state = State::SwappedOut;
     }
     ctxs_.emplace(ctx, std::move(c));
+#if GPUMP_AUDIT_ENABLED
+    auditCapacity();
+#endif
 }
+
+#if GPUMP_AUDIT_ENABLED
+
+void
+ResidencyManager::auditCapacity() const
+{
+    std::int64_t covered = 0;
+    for (const auto &kv : ctxs_) {
+        GPUMP_AUDIT(kv.second.footprint >= 0,
+                    "context %d carries a negative footprint", kv.first);
+        if (kv.second.state != State::SwappedOut)
+            covered += kv.second.footprint;
+    }
+    // The modelled device cannot demand-page: state that does not fit
+    // does not exist, so more covered footprint than capacity means
+    // the simulation is now timing accesses to memory that was never
+    // there.
+    GPUMP_AUDIT(covered <= gmem_->params().capacity,
+                "resident + swapping-in footprint %lld exceeds device "
+                "capacity %lld",
+                static_cast<long long>(covered),
+                static_cast<long long>(gmem_->params().capacity));
+    GPUMP_AUDIT(gmem_->totalAllocated() <= gmem_->params().capacity,
+                "GpuMemory allocation total %lld exceeds capacity %lld",
+                static_cast<long long>(gmem_->totalAllocated()),
+                static_cast<long long>(gmem_->params().capacity));
+}
+
+void
+ResidencyManager::auditForceResidentForTest(sim::ContextId ctx)
+{
+    info(ctx).state = State::Resident;
+}
+
+#endif // GPUMP_AUDIT_ENABLED
 
 bool
 ResidencyManager::resident(sim::ContextId ctx) const
@@ -102,6 +140,9 @@ ResidencyManager::ensureResident(sim::ContextId ctx,
     }
     CtxInfo &c = it->second;
     c.lastUse = ++useClock_;
+#if GPUMP_AUDIT_ENABLED
+    auditCapacity();
+#endif
     switch (c.state) {
     case State::Resident:
         ready();
@@ -164,6 +205,9 @@ ResidencyManager::evict(sim::ContextId victim)
     // transfer engine's own queueing.
     submit_(victim, v.priority, v.footprint, /*to_device=*/false,
             [this] { retryParked(); });
+#if GPUMP_AUDIT_ENABLED
+    auditCapacity();
+#endif
 }
 
 bool
@@ -183,6 +227,9 @@ ResidencyManager::tryStartSwapIn(sim::ContextId ctx)
     swapBytes_ += static_cast<double>(c.footprint);
     submit_(ctx, c.priority, c.footprint, /*to_device=*/true,
             [this, ctx] { finishSwapIn(ctx); });
+#if GPUMP_AUDIT_ENABLED
+    auditCapacity();
+#endif
     return true;
 }
 
@@ -195,6 +242,9 @@ ResidencyManager::finishSwapIn(sim::ContextId ctx)
                  ctx);
     c.state = State::Resident;
     c.lastUse = ++useClock_;
+#if GPUMP_AUDIT_ENABLED
+    auditCapacity();
+#endif
     std::vector<std::function<void()>> waiters = std::move(c.waiters);
     c.waiters.clear();
     for (auto &w : waiters)

@@ -32,6 +32,10 @@
 #include <map>
 #include <vector>
 
+// audit.hh is dependency-free by design, so including it here does
+// not violate memory/'s no-core-dependency rule (see its file
+// comment).
+#include "core/audit.hh"
 #include "memory/gpu_memory.hh"
 #include "memory/page_table.hh"
 #include "sim/stats.hh"
@@ -99,6 +103,14 @@ class ResidencyManager
     std::size_t parkedRequests() const { return parked_.size(); }
     /** @} */
 
+#if GPUMP_AUDIT_ENABLED
+    /** Test hook (audit builds only): mark @p ctx Resident without
+     *  allocating device memory, deliberately breaking the
+     *  covered-footprint ≤ capacity invariant so tests/test_audit.cpp
+     *  can watch auditCapacity() trip on the next mutator. */
+    void auditForceResidentForTest(sim::ContextId ctx);
+#endif
+
   private:
     enum class State
     {
@@ -130,6 +142,13 @@ class ResidencyManager
     bool tryStartSwapIn(sim::ContextId ctx);
     void finishSwapIn(sim::ContextId ctx);
     void retryParked();
+
+#if GPUMP_AUDIT_ENABLED
+    /** O(#contexts) walk: every byte of Resident/SwappingIn footprint
+     *  must fit in device capacity, as must GpuMemory's own
+     *  allocation total.  Called after every residency transition. */
+    void auditCapacity() const;
+#endif
 
     GpuMemory *gmem_;
     SwapSubmit submit_;

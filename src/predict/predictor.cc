@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/audit.hh"
 #include "gpu/kernel_exec.hh"
 #include "gpu/sm.hh"
 #include "sim/logging.hh"
@@ -38,6 +39,17 @@ RuntimePredictor::observeTb(const gpu::Sm &, const gpu::KernelExec &k,
     m.priorWeight *= 1.0 - alpha_;
     ++m.samples;
     ++observed_;
+    // priorWeight = (1-alpha)^samples by construction; a value outside
+    // [0,1] (NaN included, via the negated compare) would push the
+    // derived confidence out of range and corrupt every policy that
+    // scales on it.
+    GPUMP_AUDIT(m.priorWeight >= 0.0 && m.priorWeight <= 1.0,
+                "EWMA prior weight %g left [0,1] after %llu samples",
+                m.priorWeight,
+                static_cast<unsigned long long>(m.samples));
+    GPUMP_AUDIT(m.ewmaUs >= 0.0,
+                "EWMA service-time estimate went negative (%g us)",
+                m.ewmaUs);
 }
 
 Estimate
@@ -55,6 +67,8 @@ RuntimePredictor::tbEstimate(sim::ContextId ctx,
     e.tbUs = m->ewmaUs;
     e.confidence = 1.0 - m->priorWeight;
     e.samples = m->samples;
+    GPUMP_AUDIT(e.confidence >= 0.0 && e.confidence <= 1.0,
+                "prediction confidence %g outside [0,1]", e.confidence);
     return e;
 }
 

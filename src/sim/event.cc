@@ -61,6 +61,15 @@ EventQueue::acquireSlot(Callback &&cb)
 void
 EventQueue::releaseSlot(std::uint32_t slot)
 {
+    // Slab-generation sanity: a released slot must be a real slab cell
+    // and must not still hold a callback (cancel/step clear it first,
+    // so a live callback here means a double release).
+    GPUMP_AUDIT(slot < slots_.size(),
+                "slot %u released beyond the %zu-cell slab",
+                slot, slots_.size());
+    GPUMP_AUDIT(slots_[slot].callback == nullptr,
+                "slot %u released while its callback is still armed "
+                "(double release or missed cancel)", slot);
     slots_[slot].nextFree = freeHead_;
     freeHead_ = slot;
 }
@@ -71,6 +80,12 @@ EventQueue::cancelSlot(std::uint32_t slot)
     // Invalidate the entry (and all handles) by bumping the
     // generation, and release the captures right away.  The slot is
     // recycled when its dead entry is popped over or compacted out.
+    GPUMP_AUDIT(slot < slots_.size(),
+                "cancel of slot %u beyond the %zu-cell slab", slot,
+                slots_.size());
+    GPUMP_AUDIT(slots_[slot].gen != ~0u,
+                "slot %u generation counter about to wrap "
+                "(stale handles would revalidate)", slot);
     ++slots_[slot].gen;
     slots_[slot].callback = nullptr;
     ++deadEntries_;
@@ -119,7 +134,18 @@ EventQueue::insertEntry(const Entry &e)
     auto pos = std::upper_bound(
         bottom_.begin() + static_cast<std::ptrdiff_t>(bottomPos_),
         bottom_.end(), e, FiresBefore());
-    bottom_.insert(pos, e);
+    auto ins = bottom_.insert(pos, e);
+    // Two-tier ordering: a below-boundary insert must land in sorted
+    // position (its neighbours bracket it).  Catches a comparator or
+    // boundary regression at the insert, not replays later.
+    GPUMP_AUDIT(
+        (ins == bottom_.begin() + static_cast<std::ptrdiff_t>(bottomPos_) ||
+         !keyBefore(e.keyHi, e.keyLo, (ins - 1)->keyHi, (ins - 1)->keyLo)) &&
+            (ins + 1 == bottom_.end() ||
+             !keyBefore((ins + 1)->keyHi, (ins + 1)->keyLo, e.keyHi,
+                        e.keyLo)),
+        "sorted-bottom insert out of order (when=%llu)",
+        static_cast<unsigned long long>(e.keyHi));
     if (bottom_.size() - bottomPos_ > spillLimit)
         spillBottom();
 }
@@ -164,6 +190,23 @@ EventQueue::refillBottom()
                   future_.begin() + static_cast<std::ptrdiff_t>(take));
     std::sort(bottom_.begin(), bottom_.end(), FiresBefore());
     bottomPos_ = 0;
+#if GPUMP_AUDIT_ENABLED
+    // Two-tier ordering after a refill: the bottom is sorted and every
+    // entry left in the future belongs at or beyond the new boundary.
+    // O(n) — audit builds trade throughput for machine-checked
+    // structure.
+    for (std::size_t i = 1; i < bottom_.size(); ++i) {
+        GPUMP_AUDIT(!keyBefore(bottom_[i].keyHi, bottom_[i].keyLo,
+                               bottom_[i - 1].keyHi, bottom_[i - 1].keyLo),
+                    "refilled bottom not sorted at index %zu", i);
+    }
+    for (std::size_t i = 0; i < future_.size(); ++i) {
+        GPUMP_AUDIT(!keyBefore(future_[i].keyHi, future_[i].keyLo,
+                               boundaryHi_, boundaryLo_),
+                    "future entry %zu fires below the refill boundary "
+                    "(the bottom would skip it)", i);
+    }
+#endif
 }
 
 const EventQueue::Entry *
@@ -246,6 +289,16 @@ EventQueue::step()
     if (front == nullptr)
         return false;
     const Entry top = *front;
+    // The queue's headline guarantee, checked at the moment it could
+    // break: events fire in nondecreasing time order.
+    GPUMP_AUDIT(top.when() >= now_,
+                "event fires at %lld but time already reached %lld "
+                "(two-tier ordering violated)",
+                static_cast<long long>(top.when()),
+                static_cast<long long>(now_));
+    GPUMP_AUDIT(slots_[top.slot].callback != nullptr,
+                "front entry's slot %u has no callback "
+                "(generation bookkeeping corrupt)", top.slot);
     ++bottomPos_; // consume before the callback can mutate the queue
     now_ = top.when();
     ++slots_[top.slot].gen; // the event is no longer pending
@@ -255,6 +308,20 @@ EventQueue::step()
     cb();
     return true;
 }
+
+#if GPUMP_AUDIT_ENABLED
+void
+EventQueue::auditCorruptFrontKeyForTest()
+{
+    const Entry *front = peekFront();
+    GPUMP_ASSERT(front != nullptr,
+                 "no pending entry to corrupt for the audit test");
+    // peekFront() leaves the live front at bottom_[bottomPos_]; zero
+    // its firing key so the next step() sees an event "before" the
+    // current time and the two-tier ordering audit trips.
+    bottom_[bottomPos_].keyHi = 0;
+}
+#endif
 
 SimTime
 EventQueue::run(SimTime limit)

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/audit.hh"
 #include "sim/types.hh"
 
 namespace gpump {
@@ -339,6 +340,15 @@ class EventQueue
      *  recycling; steady-state workloads plateau at their peak
      *  concurrent event count). */
     std::size_t slotsAllocated() const { return slots_.size(); }
+
+#if GPUMP_AUDIT_ENABLED
+    /** Test hook (audit builds only): deliberately corrupt the firing
+     *  key of the next pending entry so the two-tier ordering audit
+     *  in step() trips.  Exists so tests/test_audit.cpp can prove the
+     *  audit layer detects a corrupted queue; never compiled into
+     *  default builds.  @pre at least one live entry is pending. */
+    void auditCorruptFrontKeyForTest();
+#endif
 
   private:
     /**

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Test driver for scripts/lint_determinism.py.
+
+Runs the linter over the fixture tree (a miniature repo root, so the
+path-scoped rules see harness/exec/wire.cc and metrics/ files at their
+real locations) and asserts, per fixture, the EXACT multiset of rule
+IDs that fire.  Registered as a ctest target (test_lint_fixtures).
+
+Also asserts the meta-properties the CI lint job depends on: exit
+status 1 when any fixture fires, exit status 0 on the clean fixture
+subset, and a nonempty --list-rules table.
+"""
+
+import collections
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINTER = REPO / "scripts" / "lint_determinism.py"
+
+# fixture path (relative to the fixture root) -> expected Counter of
+# rule IDs.  An entry with an empty Counter must lint clean.
+EXPECTED = {
+    "src/core/wall_clock.cc": collections.Counter({"wall-clock": 4}),
+    "src/core/raw_rand.cc": collections.Counter({"raw-rand": 3}),
+    "src/metrics/unordered_output.cc":
+        collections.Counter({"unordered-output": 4}),
+    "src/harness/exec/wire.cc": collections.Counter({"float-format": 3}),
+    "src/core/ptr_sort.cc": collections.Counter({"ptr-sort": 2}),
+    "src/core/allow_pragmas.cc": collections.Counter(),
+    "src/core/stale_pragma.cc":
+        collections.Counter({"stale-pragma": 1, "bad-pragma": 1}),
+}
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def run_linter(paths):
+    cmd = [sys.executable, str(LINTER), "--repo-root", str(HERE)]
+    cmd += [str(HERE / p) for p in paths]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+
+    # --list-rules prints the documented rule table.
+    res = subprocess.run([sys.executable, str(LINTER), "--list-rules"],
+                         capture_output=True, text=True)
+    if res.returncode != 0 or "wall-clock" not in res.stdout:
+        failures.append("--list-rules did not print the rule table")
+
+    # Per-fixture exactness.
+    for rel, expected in sorted(EXPECTED.items()):
+        res = run_linter([rel])
+        got = collections.Counter()
+        for line in res.stdout.splitlines():
+            m = FINDING_RE.match(line)
+            if m:
+                got[m.group("rule")] += 1
+        if got != expected:
+            failures.append(
+                f"{rel}: expected {dict(expected)}, got {dict(got)}\n"
+                f"  stdout: {res.stdout.strip()!r}")
+        want_rc = 1 if expected else 0
+        if res.returncode != want_rc:
+            failures.append(
+                f"{rel}: expected exit {want_rc}, got {res.returncode}")
+
+    # Whole-tree run: every firing fixture's findings show up together
+    # and the exit status is 1.
+    res = run_linter(["src"])
+    total_expected = sum((c for c in EXPECTED.values()),
+                         collections.Counter())
+    got = collections.Counter()
+    for line in res.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            got[m.group("rule")] += 1
+    if got != total_expected:
+        failures.append(
+            f"whole tree: expected {dict(total_expected)}, "
+            f"got {dict(got)}")
+    if res.returncode != 1:
+        failures.append(f"whole tree: expected exit 1, got {res.returncode}")
+
+    # The real source tree must be clean (the CI gate).
+    res = subprocess.run(
+        [sys.executable, str(LINTER), "--repo-root", str(REPO),
+         str(REPO / "src")],
+        capture_output=True, text=True)
+    if res.returncode != 0:
+        failures.append(
+            f"src/ at HEAD is not lint-clean:\n{res.stdout}")
+
+    if failures:
+        print("FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"ok: {len(EXPECTED)} fixtures + whole-tree + src/ clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

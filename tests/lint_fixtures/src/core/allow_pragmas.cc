@@ -1,0 +1,18 @@
+// Fixture: every banned pattern suppressed by its per-line pragma.
+// Expected findings: none — each allow() covers exactly its line.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int suppressedEverywhere()
+{
+    std::time_t t = time(nullptr); // gpump-lint: allow(wall-clock)
+    srand(7);                      // gpump-lint: allow(raw-rand)
+    int a = rand();                // gpump-lint: allow(raw-rand)
+    std::random_device rd;         // gpump-lint: allow(raw-rand)
+    return static_cast<int>(t) + a + static_cast<int>(rd());
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: std::sort over raw-pointer containers.
+// Expected findings: ptr-sort x2 (the comparator-less sorts).
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Node
+{
+    int key;
+};
+
+void sortNodes(std::vector<Node *> &nodes, std::vector<Node *> &more)
+{
+    std::sort(nodes.begin(), nodes.end());        // FINDING ptr-sort
+    std::stable_sort(more.begin(), more.end());   // FINDING ptr-sort
+    // With an explicit key the order is value-determined and fine:
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node *a, const Node *b) { return a->key < b->key; });
+    // Sorting values (not pointers) is always fine:
+    std::vector<int> keys;
+    std::sort(keys.begin(), keys.end());
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: raw randomness outside sim::Rng.
+// Expected findings: raw-rand x3.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int rawRandomness()
+{
+    srand(42);                    // FINDING raw-rand
+    int a = rand();               // FINDING raw-rand
+    std::random_device rd;        // FINDING raw-rand
+    return a + static_cast<int>(rd());
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: pragmas that suppress nothing (and one for a rule that
+// does not exist) are themselves findings, so allowlist entries
+// cannot rot in place.
+// Expected findings: stale-pragma x1, bad-pragma x1.
+namespace fixture {
+
+int nothingWrongHere()
+{
+    int x = 1; // gpump-lint: allow(wall-clock)
+    int y = 2; // gpump-lint: allow(made-up-rule)
+    return x + y;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: every form of wall-clock read the lint must reject.
+// Expected findings: wall-clock x4 (lines marked below).
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace fixture {
+
+long wallClockReads()
+{
+    std::time_t t = time(nullptr);                       // FINDING wall-clock
+    auto tp = std::chrono::system_clock::now();          // FINDING wall-clock
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);                          // FINDING wall-clock
+    auto hr = std::chrono::high_resolution_clock::now(); // FINDING wall-clock
+    // steady_clock is monotonic and allowed (wallSeconds telemetry):
+    auto ok = std::chrono::steady_clock::now();
+    (void)tp;
+    (void)hr;
+    (void)ok;
+    return static_cast<long>(t) + tv.tv_sec;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: decimal double formatting inside the wire codec (the file
+// set held to the hexfloat-only contract).
+// Expected findings: float-format x3.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string encodeDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%f", v);     // FINDING float-format
+    std::snprintf(buf, sizeof(buf), "%.17g", v);  // FINDING float-format
+    std::snprintf(buf, sizeof(buf), "%-12.6e", v); // FINDING float-format
+    // Hexfloat round-trips bit-exactly and is the one permitted form:
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    // Integer conversions are fine too:
+    std::snprintf(buf, sizeof(buf), "%d %s %llu", 1, "x", 2ull);
+    return buf;
+}
+
+} // namespace fixture

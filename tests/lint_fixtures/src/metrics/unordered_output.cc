@@ -1,0 +1,21 @@
+// Fixture: unordered containers in an output-feeding file (metrics/
+// feeds the report/JSONL path).  Expected findings: unordered-output x2.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double sumValues()
+{
+    std::unordered_map<std::string, double> byName; // FINDING unordered-output
+    std::unordered_set<int> seen;                   // FINDING unordered-output
+    byName["a"] = 1.0;
+    seen.insert(1);
+    double total = 0.0;
+    for (const auto &kv : byName)
+        total += kv.second;
+    return total + static_cast<double>(seen.size());
+}
+
+} // namespace fixture
